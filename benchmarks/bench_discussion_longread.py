@@ -1,0 +1,78 @@
+"""Section VII-D (Discussion): SeedEx for long-read gap fills.
+
+Paper: long-read aligners take the "seed-and-chain-then-fill"
+strategy, the inter-seed global-alignment step takes 16-33% of
+minimap2's time, and "SeedEx can be directly applied to this kernel,
+performing optimal global alignment with a small area".
+
+This harness quantifies that claim on our pipeline: the fraction of
+fills whose optimality a narrow band can *prove* (no full-band run
+needed), and the DP-cell savings relative to always-full-band fills.
+"""
+
+import numpy as np
+
+from repro.aligner.longread import LongReadAligner
+from repro.analysis.report import print_table
+from repro.genome.synth import (
+    LongReadProfile,
+    simulate_long_reads,
+    synthesize_reference,
+)
+
+BANDS = (4, 8, 16, 32)
+
+
+def test_discussion_longread_fill(benchmark):
+    rng = np.random.default_rng(404)
+    reference = synthesize_reference(120_000, rng)
+    reads = simulate_long_reads(
+        reference, 12, rng, LongReadProfile(sv_rate=0.25)
+    )
+
+    def run():
+        rows = []
+        for band in BANDS:
+            aligner = LongReadAligner(reference, fill_band=band)
+            full_cells = 0
+            for read in reads:
+                result = aligner.align(read.codes, read.name)
+                assert result is not None
+                for fill in result.fills:
+                    full_cells += (fill.query_gap + 1) * (
+                        fill.target_gap + 1
+                    )
+            stats = aligner.stats
+            rows.append(
+                (
+                    band,
+                    stats.fills,
+                    stats.fill_pass_rate,
+                    stats.fill_cells_narrow / max(1, full_cells),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        "Section VII-D — long-read fill with SeedEx guarantees",
+        ("fill band", "fills", "proved optimal", "narrow/full cells"),
+        [
+            (band, fills, f"{rate:.1%}", f"{cells:.2f}")
+            for band, fills, rate, cells in rows
+        ],
+    )
+    print(
+        "\npaper: the fill kernel takes 16-33% of minimap2 time; a "
+        "narrow guaranteed band shrinks its area/computation while "
+        "keeping fills optimal"
+    )
+
+    by_band = {band: rate for band, _, rate, _ in rows}
+    cells = {band: c for band, _, _, c in rows}
+    # Pass rate grows with the band; a moderate band proves nearly all
+    # fills while computing a fraction of the full-band cells.
+    assert by_band[32] >= by_band[8] >= by_band[4] - 1e-9
+    assert by_band[16] > 0.9
+    assert cells[16] < 0.8

@@ -1,0 +1,70 @@
+"""Figure 3: band size vs software seed-extension execution time.
+
+Paper: a smaller band shortens the kernel's inner loop, but early
+termination makes the curve saturate as the band grows — which is why
+a conservative band barely hurts *software*, while hardware pays for
+every PE.  This harness wall-clocks our software kernel and also
+reports the deterministic work metric (cells computed), whose
+saturation is the figure's actual mechanism.
+"""
+
+import pytest
+
+from repro.align import banded
+from repro.align.scoring import BWA_MEM_SCORING
+from repro.analysis.report import print_table
+
+BANDS = (5, 10, 20, 41, 70, 101)
+_times: dict[int, float] = {}
+
+
+@pytest.mark.parametrize("band", BANDS)
+def test_fig03_kernel_time_at_band(benchmark, timing_corpus, band):
+    def run():
+        total = 0
+        for job in timing_corpus:
+            res = banded.extend(
+                job.query, job.target, BWA_MEM_SCORING, job.h0, w=band
+            )
+            total += res.cells_computed
+        return total
+
+    benchmark(run)
+    _times[band] = benchmark.stats.stats.mean / len(timing_corpus)
+
+    if band == BANDS[-1]:
+        cells = {}
+        for w in BANDS:
+            cells[w] = sum(
+                banded.extend(
+                    j.query, j.target, BWA_MEM_SCORING, j.h0, w=w
+                ).cells_computed
+                for j in timing_corpus
+            ) / len(timing_corpus)
+        rows = [
+            (
+                w,
+                f"{1e6 * _times[w]:.0f}",
+                f"{cells[w]:,.0f}",
+                f"{cells[w] / cells[BANDS[0]]:.2f}x",
+            )
+            for w in BANDS
+        ]
+        print_table(
+            "Figure 3 — band vs software kernel cost per extension",
+            ("band", "us/ext (measured)", "cells/ext", "work vs w=5"),
+            rows,
+        )
+        # Shape: work grows with the band but saturates — early
+        # termination stops charging for band the alignment never uses.
+        assert cells[101] > cells[5]
+        early = cells[20] / cells[5]  # 4x band -> ~how much more work
+        late = cells[101] / cells[41]  # 2.5x band -> much less growth
+        print(
+            f"\nwork growth w5->w20 (4x band): {early:.2f}x; "
+            f"w41->w101 (2.5x band): {late:.2f}x (saturating)"
+        )
+        assert late < early
+        # And the saturation is strict: full band costs well under the
+        # proportional 101/41 = 2.46x of the w=41 cost.
+        assert late < 1.8

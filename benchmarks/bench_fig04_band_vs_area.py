@@ -1,0 +1,38 @@
+"""Figure 4: band size vs accelerator hardware resources.
+
+Paper: BSW-core area scales linearly with the band (each band step
+adds one PE's worth of logic), the flip side of Figure 3's software
+saturation — hardware pays full price for a conservative band.
+"""
+
+import pytest
+
+from repro.hw import area
+from repro.analysis.report import print_table
+
+BANDS = (5, 10, 20, 41, 60, 80, 101)
+
+
+def test_fig04_band_vs_area(benchmark):
+    def run():
+        return {w: area.band_utilization_percent(w) for w in BANDS}
+
+    pct = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (w, f"{pct[w]:.3f}%", f"{area.bsw_core_luts(w):,.0f}")
+        for w in BANDS
+    ]
+    print_table(
+        "Figure 4 — band vs BSW-core resources",
+        ("band", "VU9P LUT %", "LUTs"),
+        rows,
+    )
+
+    # Linear shape: equal band steps cost equal increments.
+    slope_a = (pct[41] - pct[5]) / (41 - 5)
+    slope_b = (pct[101] - pct[41]) / (101 - 41)
+    print(f"\nslope w5-41: {slope_a:.5f} %/band, "
+          f"w41-101: {slope_b:.5f} %/band (linear)")
+    assert slope_a == pytest.approx(slope_b, rel=1e-6)
+    assert pct[101] > pct[5]

@@ -1,0 +1,36 @@
+"""Figure 15: resource (LUT) breakdown of the SeedEx FPGA.
+
+Paper: the majority of resources go to compute (the BSW cores);
+prefetch/buffering logic is simplistic and nearly free; edit cores add
+only 5.53% over the narrow-band machines.
+"""
+
+from repro.analysis.report import print_table
+from repro.hw import area
+
+
+def test_fig15_lut_breakdown(benchmark):
+    breakdown = benchmark.pedantic(
+        area.seedex_fpga_breakdown, rounds=1, iterations=1
+    )
+
+    parts = breakdown.as_dict()
+    total = sum(parts.values())
+    rows = [
+        (name, f"{luts:,.0f}", f"{luts / total:.1%}")
+        for name, luts in parts.items()
+    ]
+    print_table(
+        "Figure 15 — LUT breakdown, SeedEx-only FPGA (12 cores)",
+        ("component", "LUTs", "share"),
+        rows,
+    )
+    overhead = area.edit_machine_overhead()
+    print(f"\nedit-machine overhead over BSW cores: {overhead:.2%} "
+          "(paper: 5.53%)")
+
+    # Shape: compute dominates; control/buffers are negligible.
+    assert parts["BSW cores"] == max(parts.values())
+    assert parts["Controller + arbiter"] / total < 0.02
+    assert parts["I/O buffers"] / total < 0.05
+    assert abs(overhead - 0.0553) < 0.005

@@ -1,0 +1,39 @@
+"""Figure 16(a): full-band core vs SeedEx core resource utilization.
+
+Paper: the SeedEx core (3 narrow BSW cores + edit machine) improves
+LUT utilization 2.3x over a full-band core (3 BSW cores at w=101);
+the edit-machine overhead is more than amortized by the smaller band.
+"""
+
+from repro import constants as paper
+from repro.analysis.report import PaperComparison, comparison_table
+from repro.hw import area
+
+
+def test_fig16a_core_area(benchmark):
+    def run():
+        return {
+            "full-band core": area.full_band_core_luts(),
+            "seedex core": area.seedex_core_luts(),
+            "  of which BSW": 3 * area.bsw_core_luts(paper.DEFAULT_BAND),
+            "  of which edit": area.edit_core_luts(paper.DEFAULT_BAND),
+        }
+
+    luts = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    comparison_table(
+        "Figure 16(a) — core LUT comparison",
+        [
+            PaperComparison(
+                "full-band / seedex LUT ratio",
+                paper.SEEDEX_CORE_LUT_IMPROVEMENT,
+                luts["full-band core"] / luts["seedex core"],
+            ),
+        ],
+    )
+    for name, v in luts.items():
+        print(f"  {name}: {v:,.0f} LUTs")
+
+    ratio = luts["full-band core"] / luts["seedex core"]
+    assert abs(ratio - 2.3) < 0.05
+    assert luts["  of which edit"] < 0.1 * luts["seedex core"]

@@ -1,0 +1,49 @@
+"""Figure 16(b): edit-core area with each optimization applied.
+
+Paper: relative to a baseline band-41 BSW core, the reduced edit
+scoring datapath saves 1.82x, delta encoding (3-bit PEs) 3.11x, and
+the half-width PE array 6.06x.  The functional models in
+``repro.hw.delta`` / ``repro.hw.edit_machine`` prove the optimized
+datapaths still decode bit-exact scores; this harness reports their
+modeled area.
+"""
+
+from repro import constants as paper
+from repro.analysis.report import PaperComparison, comparison_table
+from repro.hw import area
+
+LADDER = ("baseline", "reduced-scoring", "delta", "half-width")
+
+
+def test_fig16b_edit_optimizations(benchmark):
+    def run():
+        return {opt: area.edit_core_luts(41, opt) for opt in LADDER}
+
+    luts = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    base = luts["baseline"]
+    comparisons = [
+        PaperComparison(
+            "reduced scoring reduction",
+            paper.EDIT_REDUCED_SCORING_FACTOR,
+            base / luts["reduced-scoring"],
+        ),
+        PaperComparison(
+            "delta encoding reduction",
+            paper.EDIT_DELTA_ENCODING_FACTOR,
+            base / luts["delta"],
+        ),
+        PaperComparison(
+            "half-width reduction",
+            paper.EDIT_HALF_WIDTH_FACTOR,
+            base / luts["half-width"],
+        ),
+    ]
+    comparison_table("Figure 16(b) — edit-core optimizations", comparisons)
+    for opt in LADDER:
+        print(f"  {opt}: {luts[opt]:,.0f} LUTs")
+
+    values = [luts[o] for o in LADDER]
+    assert values == sorted(values, reverse=True)
+    for c in comparisons:
+        assert c.relative_error < 0.01

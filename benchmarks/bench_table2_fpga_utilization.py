@@ -1,0 +1,48 @@
+"""Table II: seeding + SeedEx FPGA resource utilization.
+
+Paper: in the combined image, SeedEx totals 12.99% of VU9P LUTs (the
+3 SeedEx cores alone 12.47%), seeding takes 21.04%, the AWS shell
+19.74%, and successful place-and-route limits the design to 50-60%
+utilization overall.
+"""
+
+from repro import constants as paper
+from repro.analysis.report import PaperComparison, comparison_table
+from repro.hw import area
+
+
+def test_table2_fpga_utilization(benchmark):
+    def run():
+        return {
+            res: area.table2_model(resource=res)
+            for res in ("LUT", "BRAM", "URAM")
+        }
+
+    models = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    published = paper.TABLE2_UTILIZATION
+    comparisons = []
+    for res, model in models.items():
+        for name, value in model.items():
+            comparisons.append(
+                PaperComparison(
+                    f"{name} {res}", published[name][res], value
+                )
+            )
+    comparison_table(
+        "Table II — SeedEx resource utilization (%)", comparisons
+    )
+
+    fixed = (
+        published["Seeding"]["LUT"] + published["AWS Interface"]["LUT"]
+    )
+    total = fixed + models["LUT"]["SeedEx: Total"]
+    print(f"\ntotal LUT utilization with seeding + shell: {total:.1f}% "
+          f"(paper: {published['Total']['LUT']}%, P&R limit 50-60%)")
+
+    for c in comparisons:
+        if c.paper == 0:
+            assert c.measured == 0, c.metric
+        else:
+            assert c.relative_error < 0.05, c.metric
+    assert 50 <= total <= 60

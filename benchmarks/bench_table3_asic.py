@@ -1,0 +1,71 @@
+"""Table III: area and power of the ASIC SeedEx implementation.
+
+Paper: a 28 nm SeedEx with 12 BSW cores + 4 edit cores + 1 full-band
+rerun core occupies 0.98 mm^2 and 1.10 W; paired with 8 ERT seeding
+units the full aligner is 28.76 mm^2 / 9.81 W at a 0.49 ns clock.
+"""
+
+from repro import constants as paper
+from repro.analysis.report import PaperComparison, comparison_table, print_table
+from repro.hw import area
+
+
+def test_table3_asic(benchmark):
+    def run():
+        return (
+            area.asic_seedex_components(),
+            area.asic_seedex_totals(),
+            area.asic_system_totals(),
+        )
+
+    components, seedex_totals, system_totals = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    rows = [
+        (c.name, c.config, f"{c.area_mm2:.3f}", f"{c.power_w:.3f}")
+        for c in components
+    ]
+    rows.append(
+        ("SeedEx total", "-", f"{seedex_totals[0]:.3f}",
+         f"{seedex_totals[1]:.3f}")
+    )
+    rows.append(
+        ("ERT + SeedEx", "-", f"{system_totals[0]:.2f}",
+         f"{system_totals[1]:.2f}")
+    )
+    print_table(
+        "Table III — ASIC area and power (28 nm)",
+        ("component", "config", "area mm^2", "power W"),
+        rows,
+    )
+    comparisons = [
+        PaperComparison(
+            "SeedEx area (mm^2)",
+            paper.TABLE3_SEEDEX_TOTAL["area_mm2"],
+            seedex_totals[0],
+        ),
+        PaperComparison(
+            "SeedEx power (W)",
+            paper.TABLE3_SEEDEX_TOTAL["power_w"],
+            seedex_totals[1],
+        ),
+        PaperComparison(
+            "system area (mm^2)",
+            paper.TABLE3_TOTAL["area_mm2"],
+            system_totals[0],
+        ),
+        PaperComparison(
+            "system power (W)",
+            paper.TABLE3_TOTAL["power_w"],
+            system_totals[1],
+        ),
+    ]
+    comparison_table("Table III — totals", comparisons)
+
+    for c in comparisons:
+        assert c.relative_error < 0.05, c.metric
+    # The ERT seeding block dominates the system budget (paper: 36.5%
+    # of area is spared for the extension engine under Sillax; SeedEx
+    # shrinks that to ~3%).
+    assert seedex_totals[0] / system_totals[0] < 0.05

@@ -1,0 +1,72 @@
+"""Shared corpora and fixtures for the experiment harnesses.
+
+Each benchmark regenerates one of the paper's tables or figures; the
+corpora here are the synthetic stand-ins for the Platinum Genomes
+workload (see DESIGN.md).  Session-scoped so a full ``pytest
+benchmarks/ --benchmark-only`` run builds each corpus once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.genome.synth import (
+    PLATINUM_LIKE,
+    ReadSimulator,
+    extension_corpus,
+    structural_corpus,
+    synthesize_reference,
+)
+
+CORPUS_SEED = 20200613  # arbitrary but fixed: results are reproducible
+
+
+@pytest.fixture(scope="session")
+def platinum_corpus():
+    """Extension jobs with the paper's overall workload mix (Fig 2)."""
+    rng = np.random.default_rng(CORPUS_SEED)
+    return extension_corpus(
+        400, rng, query_length=101, reference_length=300_000
+    )
+
+
+@pytest.fixture(scope="session")
+def seedlike_corpus():
+    """Variable-length extensions, as real seed placement produces
+    (drives Figure 2's *estimated* band distribution)."""
+    rng = np.random.default_rng(CORPUS_SEED + 5)
+    return extension_corpus(
+        400,
+        rng,
+        query_length=101,
+        reference_length=300_000,
+        vary_query_length=True,
+        min_query_length=6,
+    )
+
+
+@pytest.fixture(scope="session")
+def structural_jobs():
+    """Case-c-rich corpus: structural deletions near the band with
+    seed-adjacent substitutions (Fig 14's regime)."""
+    rng = np.random.default_rng(CORPUS_SEED + 1)
+    return structural_corpus(300, rng, size_range=(20, 50))
+
+
+@pytest.fixture(scope="session")
+def timing_corpus():
+    """Smaller corpus for wall-clock kernel timing (Fig 3)."""
+    rng = np.random.default_rng(CORPUS_SEED + 2)
+    return extension_corpus(
+        60, rng, query_length=101, reference_length=100_000
+    )
+
+
+@pytest.fixture(scope="session")
+def aligner_workload():
+    """Reference + reads for the end-to-end validation (Fig 13)."""
+    rng = np.random.default_rng(CORPUS_SEED + 3)
+    reference = synthesize_reference(40_000, rng, repeat_fraction=0.02)
+    sim = ReadSimulator(reference, PLATINUM_LIKE, seed=CORPUS_SEED + 4)
+    return reference, sim.simulate(120)

@@ -1,0 +1,57 @@
+"""Long reads: guaranteed-optimal gap fills (paper Section VII-D).
+
+minimap2-style long-read aligners chain seeds and globally align the
+gaps between them — a step the paper measures at 16-33% of execution
+time and proposes SeedEx for ("performing optimal global alignment
+with a small area").  This example runs that exact pipeline: seeds,
+chains, then every inter-seed gap goes through the banded global
+kernel with the SeedEx global checks, rerunning at full band only when
+the proof fails.
+
+Run:  python examples/longread_fill.py
+"""
+
+import numpy as np
+
+from repro.aligner.longread import LongReadAligner
+from repro.genome.synth import (
+    LongReadProfile,
+    simulate_long_reads,
+    synthesize_reference,
+)
+
+rng = np.random.default_rng(77)
+print("synthesizing a 150 kb reference ...")
+reference = synthesize_reference(150_000, rng, repeat_fraction=0.02)
+profile = LongReadProfile(read_length=2000, sv_rate=0.3)
+reads = simulate_long_reads(reference, 15, rng, profile)
+print(f"simulated {len(reads)} x {profile.read_length} bp long reads "
+      f"({sum(r.indel_span >= 10 for r in reads)} with structural "
+      "variants)\n")
+
+aligner = LongReadAligner(reference, fill_band=16)
+near = 0
+for read in reads:
+    result = aligner.align(read.codes, read.name)
+    if result is None:
+        print(f"{read.name}: no chain")
+        continue
+    ok = abs(result.pos - read.true_pos) <= 100
+    near += ok
+    reruns = sum(f.rerun for f in result.fills)
+    print(
+        f"{read.name}: pos {result.pos} (truth {read.true_pos}), "
+        f"{result.seeds_used} seeds, {len(result.fills)} fills, "
+        f"{result.fill_pass_rate:.0%} proved on w=16, "
+        f"{reruns} rerun(s)"
+    )
+
+stats = aligner.stats
+print(
+    f"\n{stats.fills} gap fills total; {stats.fill_pass_rate:.1%} "
+    "proved optimal on the narrow band — the full-band kernel ran for "
+    f"only {stats.fills - stats.fills_proved} of them."
+)
+print(f"positions recovered: {near}/{len(reads)}")
+print("\nEvery fill score is full-band-equivalent by construction: "
+      "either the checks proved it, or the rerun computed it.")

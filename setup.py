@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-build-isolation`` on offline machines whose
+pip/setuptools cannot do PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

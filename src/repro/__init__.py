@@ -1,0 +1,35 @@
+"""SeedEx reproduction: optimal seed extension in subminimal space.
+
+A from-scratch Python reproduction of *SeedEx: A Genome Sequencing
+Accelerator for Optimal Alignments in Subminimal Space* (MICRO 2020).
+
+Quick start::
+
+    from repro import SeedExtender
+    from repro.genome.sequence import encode
+
+    ext = SeedExtender(band=41)
+    out = ext.extend(encode(query), encode(target), h0=seed_score)
+    # out.result is bit-equivalent to a full-band Smith-Waterman run.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.align.scoring import BWA_MEM_SCORING, AffineGap
+from repro.core.checker import CheckConfig, CheckOutcome
+from repro.core.extender import SeedExOutput, SeedExtender
+from repro.core.globalcheck import GlobalSeedEx
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AffineGap",
+    "BWA_MEM_SCORING",
+    "CheckConfig",
+    "CheckOutcome",
+    "GlobalSeedEx",
+    "SeedExOutput",
+    "SeedExtender",
+    "__version__",
+]

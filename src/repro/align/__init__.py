@@ -1,0 +1,31 @@
+"""Alignment substrate: DP kernels shared by the whole reproduction.
+
+Public surface:
+
+* :mod:`repro.align.scoring` — scoring schemes;
+* :mod:`repro.align.banded` — the production banded extension kernel;
+* :mod:`repro.align.fullmatrix` — the dense oracle and traceback;
+* :mod:`repro.align.editdp` — edit-distance kernels and the
+  shaded-region extension used by the edit check;
+* :mod:`repro.align.cigar` — CIGAR utilities.
+"""
+
+from repro.align.banded import ExtensionResult, extend, full_band_for
+from repro.align.cigar import Cigar
+from repro.align.scoring import (
+    BWA_MEM_SCORING,
+    AffineGap,
+    edit_scoring,
+    relaxed_edit_scoring,
+)
+
+__all__ = [
+    "AffineGap",
+    "BWA_MEM_SCORING",
+    "Cigar",
+    "ExtensionResult",
+    "edit_scoring",
+    "extend",
+    "full_band_for",
+    "relaxed_edit_scoring",
+]

@@ -1,0 +1,143 @@
+"""Adaptive banding: the guarantee-free alternative (paper Sec II-A).
+
+Adaptive banded aligners (the paper cites Suzuki-Kasahara and
+Liao et al.) keep a fixed-width band but let it *drift*: each row the
+band re-centers on the best-scoring column of the previous row.  This
+tracks a single dominant alignment path with far fewer cells than a
+static band of the demand's width — but nothing proves the tracked
+path is optimal, which is exactly the gap SeedEx's checks close.
+
+This implementation exists as a baseline: the comparison harness
+(``benchmarks/bench_baseline_adaptive.py``) counts how often adaptive
+banding silently returns a suboptimal score on workloads where SeedEx
+is exact by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.scoring import AffineGap
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    """Scores from one adaptive-band extension (no guarantee)."""
+
+    lscore: int
+    gscore: int
+    gpos: int
+    band: int
+    cells_computed: int
+    drift: int
+    """How far the band center wandered off the main diagonal."""
+
+
+def adaptive_extend(
+    query: np.ndarray,
+    target: np.ndarray,
+    scoring: AffineGap,
+    h0: int,
+    band: int,
+) -> AdaptiveResult:
+    """Extension with a drifting band of half-width ``band``.
+
+    Row ``i``'s window is centered on the previous row's best column;
+    out-of-window cells are dead.  Same dead-at-zero extension
+    semantics as the static kernels.
+    """
+    if h0 < 0:
+        raise ValueError("h0 must be non-negative")
+    if band < 1:
+        raise ValueError("band must be at least 1")
+    query = np.asarray(query, dtype=np.int64)
+    target = np.asarray(target, dtype=np.int64)
+    qlen = len(query)
+    tlen = len(target)
+    go = scoring.gap_open
+    ge_i = scoring.gap_extend_ins
+    ge_d = scoring.gap_extend_del
+    m = scoring.match
+    x = scoring.mismatch
+
+    h_prev = np.zeros(qlen + 1, dtype=np.int64)
+    e_prev = np.zeros(qlen + 1, dtype=np.int64)
+    h_prev[0] = h0
+    hi0 = min(qlen, band)
+    if hi0 >= 1:
+        j_idx = np.arange(1, hi0 + 1, dtype=np.int64)
+        h_prev[1 : hi0 + 1] = np.maximum(0, h0 - go - j_idx * ge_i)
+
+    lscore = h0
+    gscore = 0
+    gpos = -1
+    if qlen <= band and h_prev[qlen] > 0:
+        gscore, gpos = int(h_prev[qlen]), 0
+    center = 0
+    max_drift = 0
+    cells = hi0 + 1
+
+    h_row = np.zeros(qlen + 1, dtype=np.int64)
+    e_row = np.zeros(qlen + 1, dtype=np.int64)
+    for i in range(1, tlen + 1):
+        # Drift toward the previous row's argmax, at most one column
+        # per row (the classic adaptive rule: the band slides, it does
+        # not jump — jumping chases spurious off-path matches).
+        if h_prev.max() > 0:
+            desired = int(h_prev.argmax())
+            if desired > center:
+                center += 1
+        else:
+            center += 1
+        max_drift = max(max_drift, abs(center - (i - 1)))
+        lo = max(0, center - band + 1)
+        hi = min(qlen, center + band)
+        h_row.fill(0)
+        e_row.fill(0)
+        if lo == 0 and i <= band:
+            init = max(0, h0 - go - i * ge_d)
+            h_row[0] = init
+            e_row[0] = init
+        lo2 = max(lo, 1)
+        if lo2 <= hi:
+            seg = slice(lo2, hi + 1)
+            e_row[seg] = np.maximum(
+                0, np.maximum(h_prev[seg] - go, e_prev[seg]) - ge_d
+            )
+            sub = np.where(target[i - 1] == query[lo2 - 1 : hi], m, -x)
+            pred = h_prev[lo2 - 1 : hi]
+            diag = np.where(pred > 0, pred + sub, 0)
+            g = np.maximum(diag, e_row[seg])
+            cols = np.arange(lo2, hi + 1, dtype=np.int64)
+            seed_f = (
+                h_row[lo2 - 1] if lo2 - 1 == 0 else 0
+            )
+            shifted = np.concatenate(
+                [[seed_f - go + (lo2 - 1) * ge_i], g - go + cols * ge_i]
+            )
+            run = np.maximum.accumulate(shifted)
+            f = np.maximum(0, run[:-1] - cols * ge_i)
+            h_row[seg] = np.maximum(np.maximum(g, f), 0)
+            cells += hi - lo2 + 1
+
+        best = int(h_row.max())
+        if best > lscore:
+            lscore = best
+        if hi == qlen and h_row[qlen] > gscore:
+            gscore = int(h_row[qlen])
+            gpos = i
+        if best == 0 and h_row[0] == 0:
+            break  # everything dead: adaptive window lost the path
+        h_prev, h_row = h_row, h_prev
+        e_prev, e_row = e_row, e_prev
+
+    return AdaptiveResult(
+        lscore=lscore,
+        gscore=gscore,
+        gpos=gpos,
+        band=band,
+        cells_computed=cells,
+        drift=max_drift,
+    )

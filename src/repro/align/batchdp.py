@@ -1,0 +1,230 @@
+"""Batched banded extension: many jobs in lockstep.
+
+The accelerator processes thousands of independent extensions; a
+Python model that loops rows *per job* wastes its vector width.  This
+kernel advances a whole batch one target row per step, vectorizing
+across jobs x columns — typically 20-50x faster than the scalar kernel
+on accelerator-sized batches, which is what makes corpus-scale
+experiments (Figures 13/14) tractable in a functional model.
+
+Semantics are identical to :func:`repro.align.banded.extend` with
+``prune=False`` (bit-equivalence is property-tested), including the
+boundary E-score capture the checks need.  Jobs may have ragged
+lengths; they are padded with dead sentinels that can never influence
+scores (query pad never matches, rows beyond a job's target are
+masked out).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.banded import (
+    ExtensionResult,
+    boundary_length,
+    full_band_for,
+    upper_boundary_length,
+)
+from repro.align.scoring import AffineGap
+
+_PAD = 64
+"""Query pad code: outside the 3-bit alphabet, never equal to a base."""
+
+
+def extend_batch(
+    queries: list[np.ndarray],
+    targets: list[np.ndarray],
+    h0s: list[int],
+    scoring: AffineGap,
+    w: int | None = None,
+) -> list[ExtensionResult]:
+    """Run one banded extension per (query, target, h0) triple.
+
+    Returns results in input order, each bit-identical to the scalar
+    kernel's output for the same job and band.
+    """
+    n = len(queries)
+    if not (n == len(targets) == len(h0s)):
+        raise ValueError("queries, targets, h0s must align")
+    if n == 0:
+        return []
+    for h0 in h0s:
+        if h0 < 0:
+            raise ValueError("h0 must be non-negative")
+
+    qlens = np.array([len(q) for q in queries], dtype=np.int64)
+    tlens = np.array([len(t) for t in targets], dtype=np.int64)
+    max_q = int(qlens.max())
+    max_t = int(tlens.max())
+    if w is None:
+        w = full_band_for(max_q, max_t)
+    if w < 0:
+        raise ValueError("band must be non-negative")
+
+    go = scoring.gap_open
+    ge_i = scoring.gap_extend_ins
+    ge_d = scoring.gap_extend_del
+    m = scoring.match
+    x = scoring.mismatch
+
+    qpad = np.full((n, max_q), _PAD, dtype=np.int64)
+    tpad = np.full((n, max_t), _PAD - 1, dtype=np.int64)
+    for k, (q, t) in enumerate(zip(queries, targets)):
+        qpad[k, : len(q)] = q
+        tpad[k, : len(t)] = t
+    h0v = np.array(h0s, dtype=np.int64)
+
+    # State arrays: rows = jobs, cols = query positions 0..max_q.
+    h_prev = np.zeros((n, max_q + 1), dtype=np.int64)
+    e_prev = np.zeros((n, max_q + 1), dtype=np.int64)
+    h_prev[:, 0] = h0v
+    cols = np.arange(1, max_q + 1, dtype=np.int64)
+    row0 = np.maximum(0, h0v[:, None] - go - cols[None, :] * ge_i)
+    row0[:, :] = np.where(cols[None, :] <= w, row0, 0)
+    row0[:, :] = np.where(cols[None, :] <= qlens[:, None], row0, 0)
+    h_prev[:, 1:] = row0
+
+    lscore = h0v.copy()
+    lpos_i = np.zeros(n, dtype=np.int64)
+    lpos_j = np.zeros(n, dtype=np.int64)
+    max_off = np.zeros(n, dtype=np.int64)
+    gscore = np.zeros(n, dtype=np.int64)
+    gpos = np.full(n, -1, dtype=np.int64)
+    glast = h_prev[np.arange(n), qlens]
+    improving = (qlens <= w) & (glast > 0)
+    gscore[improving] = glast[improving]
+    gpos[improving] = 0
+
+    n_bound = np.array(
+        [
+            boundary_length(int(qlens[k]), int(tlens[k]), w)
+            for k in range(n)
+        ],
+        dtype=np.int64,
+    )
+    boundary_e = np.zeros((n, max(1, int(n_bound.max(initial=0)))),
+                          dtype=np.int64)
+    n_upper = np.array(
+        [
+            upper_boundary_length(int(qlens[k]), int(tlens[k]), w)
+            for k in range(n)
+        ],
+        dtype=np.int64,
+    )
+    boundary_f = np.zeros((n, max(1, int(n_upper.max(initial=0)))),
+                          dtype=np.int64)
+    has_upper = n_upper > 0
+    boundary_f[has_upper, 0] = np.maximum(
+        0, h0v[has_upper] - go - (w + 1) * ge_i
+    )
+
+    all_cols = np.arange(max_q + 1, dtype=np.int64)
+    for i in range(1, max_t + 1):
+        active = tlens >= i
+        lo = max(0, i - w)
+        hi_global = min(max_q, i + w)
+        in_band = (all_cols >= lo) & (all_cols <= hi_global)
+        within = all_cols[None, :] <= qlens[:, None]
+        live_cols = in_band[None, :] & within & active[:, None]
+
+        # E channel.
+        e_row = np.maximum(
+            0, np.maximum(h_prev - go, e_prev) - ge_d
+        )
+        e_row[~live_cols] = 0
+
+        # Init column.
+        h_col0 = np.where(
+            (i <= w) & active,
+            np.maximum(0, h0v - go - i * ge_d),
+            0,
+        )
+        e_row[:, 0] = h_col0
+
+        # Diagonal.
+        tchar = tpad[:, i - 1][:, None]
+        sub = np.where(tchar == qpad, m, -x)
+        diag = np.zeros((n, max_q + 1), dtype=np.int64)
+        diag[:, 1:] = np.where(
+            h_prev[:, :-1] > 0, h_prev[:, :-1] + sub, 0
+        )
+        g = np.maximum(diag, e_row)
+        g[:, 0] = np.maximum(g[:, 0], h_col0)
+        g[~live_cols] = 0
+        g[:, 0] = np.where(active, np.maximum(g[:, 0], h_col0), 0)
+
+        # F channel via running max-plus scan along columns.
+        shifted = g - go + all_cols[None, :] * ge_i
+        run = np.maximum.accumulate(shifted, axis=1)
+        f = np.zeros_like(g)
+        f[:, 1:] = np.maximum(
+            0, run[:, :-1] - all_cols[None, 1:] * ge_i
+        )
+        f[~live_cols] = 0
+        h_row = np.maximum(np.maximum(g, f), 0)
+        h_row[~live_cols] = 0
+        h_row[:, 0] = h_col0
+
+        # Boundary E capture at column i - w.
+        bj = i - w
+        if bj >= 0:
+            capture = (bj < n_bound) & (i + 1 <= tlens) & active
+            if capture.any() and bj <= max_q:
+                vals = np.maximum(
+                    0,
+                    np.maximum(h_row[:, bj] - go, e_row[:, bj]) - ge_d,
+                )
+                boundary_e[capture, bj] = vals[capture]
+
+        # Upper-boundary F cap (see the scalar kernel for the
+        # admissibility note) at entry cell (i, i + w + 1).
+        if i >= 1:
+            capture_f = (i < n_upper) & active
+            if capture_f.any():
+                src = np.where(
+                    live_cols,
+                    h_row + all_cols[None, :] * ge_i,
+                    -(10**15),
+                ).max(axis=1)
+                vals = np.maximum(0, src - go - (i + w + 1) * ge_i)
+                boundary_f[capture_f, i] = vals[capture_f]
+
+        # Accumulators: strict row-max improvement, earliest column.
+        row_best = h_row.max(axis=1)
+        row_arg = h_row.argmax(axis=1)
+        improve = (row_best > lscore) & active
+        lscore = np.where(improve, row_best, lscore)
+        lpos_i = np.where(improve, i, lpos_i)
+        lpos_j = np.where(improve, row_arg, lpos_j)
+        max_off = np.where(
+            improve, np.maximum(max_off, np.abs(row_arg - i)), max_off
+        )
+        glast = h_row[np.arange(n), qlens]
+        gimp = (glast > gscore) & active & (np.abs(i - qlens) <= w)
+        gscore = np.where(gimp, glast, gscore)
+        gpos = np.where(gimp, i, gpos)
+
+        h_prev, e_prev = h_row, e_row
+
+    out = []
+    for k in range(n):
+        out.append(
+            ExtensionResult(
+                lscore=int(lscore[k]),
+                lpos=(int(lpos_i[k]), int(lpos_j[k])),
+                gscore=int(gscore[k]),
+                gpos=int(gpos[k]),
+                max_off=int(max_off[k]),
+                band=w,
+                h0=int(h0s[k]),
+                qlen=int(qlens[k]),
+                tlen=int(tlens[k]),
+                boundary_e=boundary_e[k, : n_bound[k]].copy(),
+                boundary_f=boundary_f[k, : n_upper[k]].copy(),
+                cells_computed=int(
+                    min(2 * w + 1, qlens[k] + 1) * tlens[k]
+                ),
+                terminated_early=False,
+            )
+        )
+    return out

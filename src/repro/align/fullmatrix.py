@@ -1,0 +1,317 @@
+"""Dense dynamic-programming oracle.
+
+This module is the single source of truth for the DP semantics used
+throughout the repository (see DESIGN.md, "DP semantics").  It fills the
+whole ``(tlen+1) x (qlen+1)`` matrix with explicit loops and keeps the
+H/E/F channels, so it is slow but obviously correct.  The production
+kernels in :mod:`repro.align.banded` are tested for bit-equivalence
+against this oracle.
+
+Extension mode (the BWA-MEM ``ksw_extend`` convention):
+
+* rows ``i = 0..tlen`` index the reference/target, columns
+  ``j = 0..qlen`` the query; cell ``(0, 0)`` carries the seed score
+  ``h0``;
+* a cell with ``H <= 0`` is *dead* — scores never restart from zero, so
+  every positive score traces back to the seed at the origin;
+* ``lscore`` is the best score over all cells (the local / soft-clip
+  extension score) and ``gscore`` the best score in the last column
+  (query fully consumed; the semi-global "to-end" score);
+* ties break toward the smallest ``i``, then smallest ``j`` (row-major
+  first strict improvement), matching the accelerator's accumulators.
+
+Global mode is plain Needleman-Wunsch with affine gaps: no dead cells,
+scores may go negative, and the score of interest is ``H[tlen][qlen]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.cigar import Cigar
+from repro.align.scoring import AffineGap
+
+NEG_INF = -(10**9)
+"""Effectively minus infinity for integer DP (safe from overflow)."""
+
+
+@dataclass(frozen=True)
+class DenseMatrices:
+    """Full H/E/F channels plus derived scores for one extension."""
+
+    h: np.ndarray
+    e: np.ndarray
+    f: np.ndarray
+    lscore: int
+    lpos: tuple[int, int]
+    gscore: int
+    gpos: int
+    max_off: int
+
+    @property
+    def tlen(self) -> int:
+        """Target (reference) length of this matrix."""
+        return self.h.shape[0] - 1
+
+    @property
+    def qlen(self) -> int:
+        """Query length of this matrix."""
+        return self.h.shape[1] - 1
+
+
+def fill_extension(
+    query: np.ndarray,
+    target: np.ndarray,
+    scoring: AffineGap,
+    h0: int,
+) -> DenseMatrices:
+    """Fill the full extension matrix (reference oracle, no pruning).
+
+    ``query`` and ``target`` are encoded base arrays.  ``h0`` is the
+    incoming seed score; it must be positive for any extension to be
+    live.
+    """
+    if h0 < 0:
+        raise ValueError("h0 must be non-negative")
+    qlen = len(query)
+    tlen = len(target)
+    go = scoring.gap_open
+    ge_i = scoring.gap_extend_ins
+    ge_d = scoring.gap_extend_del
+    m = scoring.match
+
+    h = np.zeros((tlen + 1, qlen + 1), dtype=np.int64)
+    e = np.zeros((tlen + 1, qlen + 1), dtype=np.int64)
+    f = np.zeros((tlen + 1, qlen + 1), dtype=np.int64)
+
+    h[0][0] = h0
+    for j in range(1, qlen + 1):
+        f[0][j] = max(0, h0 - go - j * ge_i)
+        h[0][j] = f[0][j]
+    for i in range(1, tlen + 1):
+        e[i][0] = max(0, h0 - go - i * ge_d)
+        h[i][0] = e[i][0]
+
+    for i in range(1, tlen + 1):
+        for j in range(1, qlen + 1):
+            diag = 0
+            if h[i - 1][j - 1] > 0:
+                diag = h[i - 1][j - 1] + scoring.substitution(
+                    int(target[i - 1]), int(query[j - 1])
+                )
+            e[i][j] = max(0, max(h[i - 1][j] - go, e[i - 1][j]) - ge_d)
+            f[i][j] = max(0, max(h[i][j - 1] - go, f[i][j - 1]) - ge_i)
+            h[i][j] = max(diag, e[i][j], f[i][j], 0)
+
+    lscore, lpos, gscore, gpos, max_off = scan_scores(h, h0, qlen, m)
+    return DenseMatrices(h, e, f, lscore, lpos, gscore, gpos, max_off)
+
+
+def scan_scores(
+    h: np.ndarray, h0: int, qlen: int, match: int
+) -> tuple[int, tuple[int, int], int, int, int]:
+    """Derive lscore/gscore/positions with the canonical tie-breaking.
+
+    Row-major scan; updates only on strict improvement, so ties resolve
+    to the smallest ``i`` then smallest ``j``.  ``max_off`` tracks the
+    largest diagonal offset ``|j - i|`` at which the running local best
+    improved — the same band-demand proxy BWA-MEM's kernel reports.
+    """
+    tlen = h.shape[0] - 1
+    lscore = h0
+    lpos = (0, 0)
+    gscore = 0
+    gpos = -1
+    max_off = 0
+    for i in range(tlen + 1):
+        row = h[i]
+        best_j = -1
+        best = lscore
+        for j in range(qlen + 1):
+            if row[j] > best:
+                best = int(row[j])
+                best_j = j
+        if best_j >= 0:
+            lscore = best
+            lpos = (i, best_j)
+            max_off = max(max_off, abs(best_j - i))
+        if row[qlen] > gscore:
+            gscore = int(row[qlen])
+            gpos = i
+    return lscore, lpos, gscore, gpos, max_off
+
+
+def fill_global(
+    query: np.ndarray,
+    target: np.ndarray,
+    scoring: AffineGap,
+    h0: int = 0,
+) -> np.ndarray:
+    """Fill the full global (Needleman-Wunsch, affine gap) matrix.
+
+    Returns the H channel; the global score is ``h[tlen][qlen]``.
+    Unreachable E/F states are ``NEG_INF``.
+    """
+    qlen = len(query)
+    tlen = len(target)
+    go = scoring.gap_open
+    ge_i = scoring.gap_extend_ins
+    ge_d = scoring.gap_extend_del
+
+    h = np.full((tlen + 1, qlen + 1), NEG_INF, dtype=np.int64)
+    e = np.full((tlen + 1, qlen + 1), NEG_INF, dtype=np.int64)
+    f = np.full((tlen + 1, qlen + 1), NEG_INF, dtype=np.int64)
+
+    h[0][0] = h0
+    for j in range(1, qlen + 1):
+        f[0][j] = h0 - go - j * ge_i
+        h[0][j] = f[0][j]
+    for i in range(1, tlen + 1):
+        e[i][0] = h0 - go - i * ge_d
+        h[i][0] = e[i][0]
+
+    for i in range(1, tlen + 1):
+        for j in range(1, qlen + 1):
+            diag = h[i - 1][j - 1] + scoring.substitution(
+                int(target[i - 1]), int(query[j - 1])
+            )
+            e[i][j] = max(h[i - 1][j] - go, e[i - 1][j]) - ge_d
+            f[i][j] = max(h[i][j - 1] - go, f[i][j - 1]) - ge_i
+            h[i][j] = max(diag, e[i][j], f[i][j])
+
+    return h
+
+
+def traceback_global(
+    query: np.ndarray,
+    target: np.ndarray,
+    scoring: AffineGap,
+    h0: int = 0,
+) -> Cigar:
+    """Trace the optimal *global* path from corner to corner.
+
+    Used by the long-read fill aligner: the gap between two chained
+    seeds is globally aligned and its trace stitched into the read's
+    CIGAR.  Dense fill — fine for the short inter-seed gaps.
+    """
+    qlen = len(query)
+    tlen = len(target)
+    go = scoring.gap_open
+    ge_i = scoring.gap_extend_ins
+    ge_d = scoring.gap_extend_del
+
+    h = np.full((tlen + 1, qlen + 1), NEG_INF, dtype=np.int64)
+    e = np.full((tlen + 1, qlen + 1), NEG_INF, dtype=np.int64)
+    f = np.full((tlen + 1, qlen + 1), NEG_INF, dtype=np.int64)
+    h[0][0] = h0
+    for j in range(1, qlen + 1):
+        f[0][j] = h0 - go - j * ge_i
+        h[0][j] = f[0][j]
+    for i in range(1, tlen + 1):
+        e[i][0] = h0 - go - i * ge_d
+        h[i][0] = e[i][0]
+    for i in range(1, tlen + 1):
+        for j in range(1, qlen + 1):
+            diag = h[i - 1][j - 1] + scoring.substitution(
+                int(target[i - 1]), int(query[j - 1])
+            )
+            e[i][j] = max(h[i - 1][j] - go, e[i - 1][j]) - ge_d
+            f[i][j] = max(h[i][j - 1] - go, f[i][j - 1]) - ge_i
+            h[i][j] = max(diag, e[i][j], f[i][j])
+
+    ops: list[tuple[int, str]] = []
+    i, j = tlen, qlen
+    state = "H"
+    while i > 0 or j > 0:
+        if state == "H":
+            cur = h[i][j]
+            if i > 0 and j > 0:
+                sub = scoring.substitution(int(target[i - 1]), int(query[j - 1]))
+                if cur == h[i - 1][j - 1] + sub:
+                    ops.append((1, "M"))
+                    i -= 1
+                    j -= 1
+                    continue
+            if i > 0 and cur == e[i][j]:
+                state = "E"
+                continue
+            if j > 0 and cur == f[i][j]:
+                state = "F"
+                continue
+            raise AssertionError("broken global traceback")
+        if state == "E":
+            ops.append((1, "D"))
+            if i == 1 or e[i][j] == h[i - 1][j] - go - ge_d:
+                state = "H"
+            i -= 1
+            continue
+        ops.append((1, "I"))
+        if j == 1 or f[i][j] == h[i][j - 1] - go - ge_i:
+            state = "H"
+        j -= 1
+
+    ops.reverse()
+    return Cigar.from_ops(ops)
+
+
+def traceback_extension(
+    query: np.ndarray,
+    target: np.ndarray,
+    scoring: AffineGap,
+    h0: int,
+    end: tuple[int, int],
+) -> Cigar:
+    """Trace the optimal path from the origin to ``end = (i, j)``.
+
+    The paper performs traceback on the host, once per read, for the
+    winning extension only (Section II-A); this dense implementation is
+    that host-side step.  The trace covers query ``[0, j)`` and target
+    ``[0, i)``; any unconsumed query suffix is the caller's to soft-clip.
+    """
+    mats = fill_extension(query, target, scoring, h0)
+    i, j = end
+    if not (0 <= i <= mats.tlen and 0 <= j <= mats.qlen):
+        raise ValueError("traceback endpoint out of range")
+    if mats.h[i][j] <= 0:
+        raise ValueError("cannot trace back from a dead cell")
+    go = scoring.gap_open
+    ge_i = scoring.gap_extend_ins
+    ge_d = scoring.gap_extend_del
+
+    ops: list[tuple[int, str]] = []
+    state = "H"
+    while i > 0 or j > 0:
+        if state == "H":
+            cur = mats.h[i][j]
+            if i > 0 and j > 0 and mats.h[i - 1][j - 1] > 0:
+                sub = scoring.substitution(int(target[i - 1]), int(query[j - 1]))
+                if cur == mats.h[i - 1][j - 1] + sub:
+                    ops.append((1, "M"))
+                    i -= 1
+                    j -= 1
+                    continue
+            if i > 0 and cur == mats.e[i][j]:
+                state = "E"
+                continue
+            if j > 0 and cur == mats.f[i][j]:
+                state = "F"
+                continue
+            raise AssertionError("broken traceback: no predecessor matches")
+        if state == "E":
+            ops.append((1, "D"))
+            prev_from_h = mats.h[i - 1][j] - go - ge_d
+            if mats.e[i][j] == prev_from_h:
+                state = "H"
+            i -= 1
+            continue
+        # state == "F"
+        ops.append((1, "I"))
+        prev_from_h = mats.h[i][j - 1] - go - ge_i
+        if mats.f[i][j] == prev_from_h:
+            state = "H"
+        j -= 1
+
+    ops.reverse()
+    return Cigar.from_ops(ops)

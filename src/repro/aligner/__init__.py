@@ -1,0 +1,21 @@
+"""The end-to-end BWA-MEM-style aligner with pluggable extension."""
+
+from repro.aligner.engines import (
+    FullBandEngine,
+    PlainBandedEngine,
+    SeedExEngine,
+)
+from repro.aligner.longread import LongReadAligner
+from repro.aligner.paired import InsertSizeModel, PairedAligner, ReadPair
+from repro.aligner.pipeline import Aligner
+
+__all__ = [
+    "Aligner",
+    "FullBandEngine",
+    "InsertSizeModel",
+    "LongReadAligner",
+    "PairedAligner",
+    "PlainBandedEngine",
+    "ReadPair",
+    "SeedExEngine",
+]

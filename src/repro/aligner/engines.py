@@ -1,0 +1,109 @@
+"""Extension engines: the pluggable seed-extension kernels.
+
+The Figure 13 experiment runs the same aligner with three kernels:
+
+* :class:`FullBandEngine` — the ground truth (BWA-MEM's software
+  full-band kernel);
+* :class:`PlainBandedEngine` — a narrow band with *no* checks: the
+  naive accelerator whose SAM output diverges (Figure 13's rising
+  curve);
+* :class:`SeedExEngine` — the narrow band with the SeedEx checks and
+  host rerun: bit-equivalent to full band at every band setting
+  (Figure 13's flat zero).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.align import banded
+from repro.align.banded import ExtensionResult
+from repro.align.scoring import BWA_MEM_SCORING, AffineGap
+from repro.core.checker import CheckConfig
+from repro.core.extender import SeedExtender
+
+
+class ExtensionEngine(Protocol):
+    """Anything that can run one seed extension job."""
+
+    name: str
+
+    def extend(
+        self, query: np.ndarray, target: np.ndarray, h0: int
+    ) -> ExtensionResult:
+        """Run one extension job and return its result."""
+        ...
+
+
+class FullBandEngine:
+    """The reference software kernel: always the full band."""
+
+    def __init__(self, scoring: AffineGap = BWA_MEM_SCORING) -> None:
+        self.name = "full-band"
+        self.scoring = scoring
+        self.extensions = 0
+        self.cells = 0
+
+    def extend(self, query, target, h0):
+        """Full-band extension: the ground-truth result."""
+        self.extensions += 1
+        res = banded.extend(query, target, self.scoring, h0)
+        self.cells += res.cells_computed
+        return res
+
+
+class PlainBandedEngine:
+    """A fixed narrow band with no optimality checks (unsound)."""
+
+    def __init__(
+        self, band: int, scoring: AffineGap = BWA_MEM_SCORING
+    ) -> None:
+        if band < 1:
+            raise ValueError("band must be at least 1")
+        self.name = f"banded-w{band}"
+        self.band = band
+        self.scoring = scoring
+        self.extensions = 0
+        self.cells = 0
+
+    def extend(self, query, target, h0):
+        """Narrow-band extension with no optimality guarantee."""
+        self.extensions += 1
+        res = banded.extend(query, target, self.scoring, h0, w=self.band)
+        self.cells += res.cells_computed
+        return res
+
+
+class SeedExEngine:
+    """Narrow band + SeedEx checks + full-band rerun on failure."""
+
+    def __init__(
+        self,
+        band: int = 41,
+        scoring: AffineGap = BWA_MEM_SCORING,
+        config: CheckConfig | None = None,
+    ) -> None:
+        self.name = f"seedex-w{band}"
+        self.band = band
+        self._extender = SeedExtender(band=band, scoring=scoring, config=config)
+
+    @property
+    def scoring(self) -> AffineGap:
+        """The affine-gap scheme this engine runs with."""
+        return self._extender.scoring
+
+    @property
+    def stats(self):
+        """Check-outcome accounting (passing rates, rerun counts)."""
+        return self._extender.stats
+
+    @property
+    def extensions(self) -> int:
+        """Extensions processed so far."""
+        return self._extender.stats.total
+
+    def extend(self, query, target, h0):
+        """Guaranteed-optimal extension (checks + rerun)."""
+        return self._extender.extend(query, target, h0).result

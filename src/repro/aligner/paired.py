@@ -1,0 +1,380 @@
+"""Paired-end alignment: proper pairs, mate rescue, SAM pair flags.
+
+The paper's dataset is single-end ERR194147, but BWA-MEM's production
+mode — and the mode any adopter of this library runs — is paired-end.
+This module adds it on top of the single-end pipeline:
+
+* both mates align independently (any extension engine, so SeedEx's
+  bit-equivalence guarantee carries over verbatim);
+* pairs are scored with an insert-size model and flagged proper when
+  orientation (forward/reverse, FR) and insert size agree;
+* **mate rescue**: when one mate is unmapped or discordant, a
+  SeedEx extension searches the window implied by the mapped mate and
+  the insert distribution — the same speculate-and-test kernel, used
+  as a targeted aligner.
+
+SAM output carries the pair flags/fields (0x1/0x2/0x40/0x80, mate
+reverse, RNEXT/PNEXT/TLEN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.align.cigar import Cigar
+from repro.align.fullmatrix import traceback_extension
+from repro.aligner.pipeline import Aligner, _resolve_end
+from repro.core.extender import SeedExtender
+from repro.genome.sam import FLAG_REVERSE, SamRecord
+from repro.genome.sequence import decode, reverse_complement
+from repro.genome.synth import ReadProfile
+
+FLAG_PAIRED = 0x1
+FLAG_PROPER = 0x2
+FLAG_MATE_UNMAPPED = 0x8
+FLAG_MATE_REVERSE = 0x20
+FLAG_FIRST = 0x40
+FLAG_SECOND = 0x80
+
+
+@dataclass(frozen=True)
+class InsertSizeModel:
+    """FR library: mates face each other, insert ~ N(mean, std)."""
+
+    mean: float = 400.0
+    std: float = 50.0
+    max_deviation: float = 4.0
+
+    @property
+    def window(self) -> tuple[int, int]:
+        """Acceptable insert-size range (lo, hi)."""
+        lo = int(self.mean - self.max_deviation * self.std)
+        hi = int(self.mean + self.max_deviation * self.std)
+        return max(0, lo), hi
+
+    def is_proper(self, insert: int) -> bool:
+        """Whether an observed insert size is concordant."""
+        lo, hi = self.window
+        return lo <= insert <= hi
+
+
+@dataclass(frozen=True)
+class ReadPair:
+    """Two mates of one fragment."""
+
+    name: str
+    first: np.ndarray
+    second: np.ndarray
+
+
+@dataclass
+class PairStats:
+    pairs: int = 0
+    proper: int = 0
+    rescued: int = 0
+
+    @property
+    def proper_rate(self) -> float:
+        """Fraction of pairs flagged proper."""
+        return self.proper / self.pairs if self.pairs else 0.0
+
+
+def simulate_pairs(
+    reference: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+    profile: ReadProfile | None = None,
+    insert: InsertSizeModel | None = None,
+) -> list[tuple[ReadPair, int, int]]:
+    """Simulate FR read pairs; returns (pair, pos1, pos2) with truth.
+
+    Mate 1 is the forward read at the fragment's left end; mate 2 the
+    reverse-complemented read at its right end.
+    """
+    profile = profile or ReadProfile(reverse_strand_fraction=0.0)
+    insert = insert or InsertSizeModel()
+    length = profile.read_length
+    max_size = int(insert.mean + insert.max_deviation * insert.std)
+    if len(reference) < max_size + length + 100:
+        raise ValueError("reference too short for the insert model")
+    out = []
+    for k in range(count):
+        size = int(rng.normal(insert.mean, insert.std))
+        size = max(2 * length + 10, size)
+        pos1 = int(rng.integers(0, len(reference) - size - length - 80))
+        first_read = _mutated_window(reference, pos1, profile, rng)
+        pos2 = pos1 + size - length
+        second_read = _mutated_window(reference, pos2, profile, rng)
+        pair = ReadPair(
+            name=f"pair{k:06d}",
+            first=first_read,
+            second=reverse_complement(second_read),
+        )
+        out.append((pair, pos1, pos2))
+    return out
+
+
+def _mutated_window(
+    reference: np.ndarray,
+    pos: int,
+    profile: ReadProfile,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """A read originating at ``pos`` with substitution errors only."""
+    window = reference[pos : pos + profile.read_length].copy()
+    n_subs = int(rng.binomial(len(window), profile.substitution_rate))
+    for _ in range(n_subs):
+        site = int(rng.integers(0, len(window)))
+        window[site] = (window[site] + int(rng.integers(1, 4))) % 4
+    return window
+
+
+class PairedAligner:
+    """Paired-end wrapper over the single-end pipeline."""
+
+    def __init__(
+        self,
+        reference: np.ndarray,
+        engine=None,
+        seeding: str = "kmer",
+        insert: InsertSizeModel | None = None,
+        rescue_band: int = 41,
+    ) -> None:
+        self.reference = np.asarray(reference, dtype=np.uint8)
+        self.aligner = Aligner(self.reference, engine, seeding=seeding)
+        self.insert = insert or InsertSizeModel()
+        self.rescuer = SeedExtender(
+            band=rescue_band, scoring=self.aligner.scoring
+        )
+        self.stats = PairStats()
+
+    def align_pair(self, pair: ReadPair) -> tuple[SamRecord, SamRecord]:
+        """Align both mates, attempt rescue, emit flagged records."""
+        self.stats.pairs += 1
+        rec1 = self.aligner.align_read(pair.first, pair.name)
+        rec2 = self.aligner.align_read(pair.second, pair.name)
+
+        if self._concordant(rec1, rec2):
+            pass
+        elif not rec1.is_unmapped and (
+            rec2.is_unmapped or not self._concordant(rec1, rec2)
+        ):
+            rescued = self._rescue(pair.second, rec1)
+            if rescued is not None and (
+                rec2.is_unmapped or self._better_pair(rec1, rescued, rec2)
+            ):
+                rec2 = rescued
+                self.stats.rescued += 1
+        elif not rec2.is_unmapped and rec1.is_unmapped:
+            rescued = self._rescue(pair.first, rec2, mate_is_first=False)
+            if rescued is not None:
+                rec1 = rescued
+                self.stats.rescued += 1
+
+        proper = self._concordant(rec1, rec2)
+        if proper:
+            self.stats.proper += 1
+        return self._flag(rec1, rec2, proper, first=True), self._flag(
+            rec2, rec1, proper, first=False
+        )
+
+    def align_pairs(self, pairs) -> list[tuple[SamRecord, SamRecord]]:
+        """Align a list of pairs in order."""
+        return [self.align_pair(p) for p in pairs]
+
+    # -- pairing logic ------------------------------------------------------
+
+    def _concordant(self, a: SamRecord, b: SamRecord) -> bool:
+        if a.is_unmapped or b.is_unmapped:
+            return False
+        if a.is_reverse == b.is_reverse:
+            return False  # FR libraries: opposite strands
+        left, right = (a, b) if a.pos <= b.pos else (b, a)
+        if left.is_reverse:
+            return False  # forward mate must be on the left
+        insert = (
+            right.pos + Cigar.parse(right.cigar).reference_length - left.pos
+        )
+        return self.insert.is_proper(insert)
+
+    def _better_pair(
+        self, anchor: SamRecord, rescued: SamRecord, original: SamRecord
+    ) -> bool:
+        if original.is_unmapped:
+            return True
+        return self._concordant(anchor, rescued) and not self._concordant(
+            anchor, original
+        )
+
+    # -- mate rescue -----------------------------------------------------------
+
+    def _rescue(
+        self,
+        mate_codes: np.ndarray,
+        anchor: SamRecord,
+        mate_is_first: bool = True,
+    ) -> SamRecord | None:
+        """Search for the mate inside the insert window of the anchor.
+
+        The mate is aligned semi-globally against the window with the
+        SeedEx extender (h0 = one match: nothing is pre-anchored), so
+        even the rescue path inherits the optimality guarantee.
+        """
+        lo_ins, hi_ins = self.insert.window
+        ref = self.reference
+        if not anchor.is_reverse:
+            start = anchor.pos + lo_ins - len(mate_codes) - 20
+            end = anchor.pos + hi_ins + 20
+            query = reverse_complement(mate_codes)
+            reverse = True
+        else:
+            anchor_end = anchor.pos + Cigar.parse(
+                anchor.cigar
+            ).reference_length
+            start = anchor_end - hi_ins - 20
+            end = anchor_end - lo_ins + len(mate_codes) + 20
+            query = mate_codes
+            reverse = False
+        start = max(0, start)
+        end = min(len(ref), end)
+        if end - start < len(mate_codes):
+            return None
+        window = ref[start:end]
+
+        # Anchor via short exact probes at several query offsets (short
+        # enough to survive scattered errors), then extend both sides
+        # with the guaranteed kernel — the same left/right structure
+        # the main pipeline uses for chain anchors.
+        k = 12
+        if len(query) < k:
+            return None
+        m = self.aligner.scoring.match
+        best = None
+        seen_starts: set[int] = set()
+        for o in range(0, len(query) - k + 1, 10):
+            probe = query[o : o + k]
+            matches = _find_exact(window, probe)
+            for off in matches:
+                implied = off - o
+                if implied in seen_starts:
+                    continue
+                seen_starts.add(implied)
+                # Left extension (reversed), then right with the
+                # accumulated score as h0.
+                lq = query[:o][::-1].copy()
+                lt = window[max(0, implied) : off][::-1].copy()
+                h0 = k * m
+                if len(lq):
+                    lres = self.rescuer.extend(lq, lt, h0).result
+                    l_end, l_score, l_clip = _resolve_end(lres, h0)
+                else:
+                    l_end, l_score, l_clip = (0, 0), h0, 0
+                rq = query[o + k :].copy()
+                rt = window[off + k : off + k + len(rq) + 25].copy()
+                if len(rq):
+                    rres = self.rescuer.extend(rq, rt, l_score).result
+                    r_end, score, r_clip = _resolve_end(rres, l_score)
+                else:
+                    r_end, score, r_clip = (0, 0), l_score, 0
+                if best is None or score > best[0]:
+                    best = (
+                        score, o, off, l_end, l_score, l_clip,
+                        r_end, r_clip,
+                    )
+            if best is not None and best[0] >= len(query) * m // 2:
+                break
+        if best is None:
+            return None
+        score, o, off, l_end, l_score, l_clip, r_end, r_clip = best
+        min_score = len(query) * m // 3
+        if score < min_score:
+            return None
+        ops: list[tuple[int, str]] = []
+        if l_clip:
+            ops.append((l_clip, "S"))
+        if l_end != (0, 0):
+            lq = query[:o][::-1].copy()
+            lt = window[max(0, off - o) : off][::-1].copy()
+            ops.extend(
+                traceback_extension(
+                    lq, lt, self.aligner.scoring, k * m, l_end
+                ).reversed().ops
+            )
+        ops.append((k, "M"))
+        if r_end != (0, 0):
+            rq = query[o + k :].copy()
+            rt = window[off + k : off + k + len(rq) + 25].copy()
+            ops.extend(
+                traceback_extension(
+                    rq, rt, self.aligner.scoring, l_score, r_end
+                ).ops
+            )
+        if r_clip:
+            ops.append((r_clip, "S"))
+        cigar = Cigar.from_ops(ops)
+        pos_in_window = off - l_end[0]
+        flag = FLAG_REVERSE if reverse else 0
+        return SamRecord(
+            qname=anchor.qname,
+            flag=flag,
+            rname=anchor.rname,
+            pos=start + pos_in_window,
+            mapq=max(0, min(60, score - min_score)),
+            cigar=str(cigar),
+            seq=decode(mate_codes),
+            tags=(f"AS:i:{score}", "XR:i:1"),
+        )
+
+
+    # -- flagging ---------------------------------------------------------------
+
+    def _flag(
+        self,
+        rec: SamRecord,
+        mate: SamRecord,
+        proper: bool,
+        first: bool,
+    ) -> SamRecord:
+        flag = rec.flag | FLAG_PAIRED
+        flag |= FLAG_FIRST if first else FLAG_SECOND
+        if proper:
+            flag |= FLAG_PROPER
+        if mate.is_unmapped:
+            flag |= FLAG_MATE_UNMAPPED
+        elif mate.is_reverse:
+            flag |= FLAG_MATE_REVERSE
+        tlen = 0
+        if proper:
+            left = min(rec.pos, mate.pos)
+            right = max(
+                rec.pos + Cigar.parse(rec.cigar).reference_length,
+                mate.pos + Cigar.parse(mate.cigar).reference_length,
+            )
+            tlen = right - left
+            if rec.pos > mate.pos or (
+                rec.pos == mate.pos and rec.is_reverse
+            ):
+                tlen = -tlen
+        return SamRecord(
+            qname=rec.qname,
+            flag=flag,
+            rname=rec.rname,
+            pos=rec.pos,
+            mapq=rec.mapq,
+            cigar=rec.cigar,
+            seq=rec.seq,
+            tags=rec.tags + (f"MP:i:{mate.pos + 1}", f"TL:i:{tlen}"),
+        )
+
+
+def _find_exact(window: np.ndarray, probe: np.ndarray) -> list[int]:
+    """All exact occurrences of ``probe`` in ``window`` (numpy scan)."""
+    k = len(probe)
+    if len(window) < k:
+        return []
+    hits = window[: len(window) - k + 1] == probe[0]
+    for d in range(1, k):
+        hits &= window[d : len(window) - k + 1 + d] == probe[d]
+    return [int(i) for i in np.flatnonzero(hits)]

@@ -1,0 +1,252 @@
+"""The end-to-end read aligner: seed, chain, extend, report.
+
+A self-contained BWA-MEM-style pipeline (paper Section V-B):
+
+1. **Seed** both orientations of the read (SMEM via the FM-index, or
+   the k-mer/ERT stand-in);
+2. **Chain** co-linear seeds and keep the strongest chains;
+3. **Extend** each chain's anchor seed left and then right with the
+   configured extension engine — the right extension's initial score
+   is the left extension's result, exactly as BWA-MEM threads ``h0``;
+4. pick the best-scoring candidate, run **traceback on the host** for
+   the winner only (Section II-A), and emit a SAM record.
+
+The extension engine is pluggable (:mod:`repro.aligner.engines`); the
+whole pipeline is deterministic for a fixed input, so SAM outputs from
+different engines are directly comparable — the Figure 13 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.cigar import Cigar
+from repro.align.fullmatrix import traceback_extension
+from repro.align.scoring import AffineGap
+from repro.aligner.engines import ExtensionEngine, FullBandEngine
+from repro.genome.sam import FLAG_REVERSE, SamRecord
+from repro.genome.sequence import decode, reverse_complement
+from repro.seeding.chaining import Chain, chain_seeds, filter_chains
+from repro.seeding.fmindex import FMIndex
+from repro.seeding.kmer_index import KmerIndex
+from repro.seeding.mems import seed_read
+
+END_BONUS = 4
+"""Preference for to-end over clipped extensions (BWA-MEM's -L)."""
+
+
+@dataclass
+class AlignmentCandidate:
+    """One fully-extended chain, before the best-of selection."""
+
+    score: int
+    pos: int
+    reverse: bool
+    chain: Chain
+    # Geometry of the winning extension for host-side traceback.
+    left_query: np.ndarray
+    left_target: np.ndarray
+    left_h0: int
+    left_end: tuple[int, int]
+    right_query: np.ndarray
+    right_target: np.ndarray
+    right_h0: int
+    right_end: tuple[int, int]
+    seed_len: int
+    clip_left: int
+    clip_right: int
+
+
+class Aligner:
+    """Align reads to one reference with a pluggable extension engine."""
+
+    def __init__(
+        self,
+        reference: np.ndarray,
+        engine: ExtensionEngine | None = None,
+        seeding: str = "smem",
+        reference_name: str = "chr1",
+        min_seed_length: int = 19,
+        band_margin: int = 45,
+        max_chains: int = 3,
+    ) -> None:
+        self.reference = np.asarray(reference, dtype=np.uint8)
+        self.reference_name = reference_name
+        self.engine = engine or FullBandEngine()
+        self.scoring: AffineGap = self.engine.scoring
+        self.min_seed_length = min_seed_length
+        self.band_margin = band_margin
+        self.max_chains = max_chains
+        if seeding == "smem":
+            self._fm = FMIndex(self.reference)
+            self._kmer = None
+        elif seeding == "kmer":
+            self._fm = None
+            self._kmer = KmerIndex(self.reference, k=min_seed_length)
+        else:
+            raise ValueError(f"unknown seeding backend {seeding!r}")
+        self.seeding = seeding
+
+    # -- seeding ----------------------------------------------------------
+
+    def _seeds(self, query: np.ndarray):
+        if self._fm is not None:
+            return seed_read(self._fm, query, self.min_seed_length)
+        return self._kmer.seed_read(query)
+
+    # -- extension --------------------------------------------------------
+
+    def _extend_chain(
+        self, query: np.ndarray, chain: Chain, reverse: bool
+    ) -> AlignmentCandidate | None:
+        ref = self.reference
+        seed = chain.anchor
+        seed_len = seed.length
+        h0 = seed_len * self.scoring.match
+
+        # Left extension: reversed prefixes so the kernel extends
+        # rightward in its own coordinates.
+        lq = query[: seed.qbegin][::-1].copy()
+        lt_lo = max(0, seed.rbegin - len(lq) - self.band_margin)
+        lt = ref[lt_lo : seed.rbegin][::-1].copy()
+        if len(lq):
+            lres = self.engine.extend(lq, lt, h0)
+            l_end, l_score, clip_left = _resolve_end(lres, h0)
+            if l_end == (0, 0) and l_score <= 0:
+                return None
+        else:
+            lres = None
+            l_end, l_score, clip_left = (0, 0), h0, 0
+
+        # Right extension continues with the accumulated score.
+        rq = query[seed.qend :].copy()
+        seed_rend = seed.rbegin + seed_len
+        rt_hi = min(len(ref), seed_rend + len(rq) + self.band_margin)
+        rt = ref[seed_rend:rt_hi].copy()
+        if len(rq):
+            rres = self.engine.extend(rq, rt, l_score)
+            r_end, final, clip_right = _resolve_end(rres, l_score)
+        else:
+            r_end, final, clip_right = (0, 0), l_score, 0
+
+        pos = seed.rbegin - l_end[0]
+        return AlignmentCandidate(
+            score=final,
+            pos=pos,
+            reverse=reverse,
+            chain=chain,
+            left_query=lq,
+            left_target=lt,
+            left_h0=h0,
+            left_end=l_end,
+            right_query=rq,
+            right_target=rt,
+            right_h0=l_score,
+            right_end=r_end,
+            seed_len=seed_len,
+            clip_left=clip_left,
+            clip_right=clip_right,
+        )
+
+    # -- per-read alignment ------------------------------------------------
+
+    def align_read(self, codes: np.ndarray, name: str) -> SamRecord:
+        """Align one read; always returns a record (possibly unmapped)."""
+        codes = np.asarray(codes, dtype=np.uint8)
+        candidates: list[AlignmentCandidate] = []
+        for reverse in (False, True):
+            query = reverse_complement(codes) if reverse else codes
+            seeds = self._seeds(query)
+            chains = filter_chains(
+                chain_seeds(seeds), max_chains=self.max_chains
+            )
+            for chain in chains:
+                cand = self._extend_chain(query, chain, reverse)
+                if cand is not None:
+                    candidates.append(cand)
+
+        seq = decode(codes)
+        if not candidates:
+            return SamRecord.unmapped(name, seq)
+
+        candidates.sort(key=lambda c: (-c.score, c.reverse, c.pos))
+        best = candidates[0]
+        runner_up = candidates[1].score if len(candidates) > 1 else 0
+        mapq = _mapq(best.score, runner_up)
+        cigar = self._traceback(best)
+        flag = FLAG_REVERSE if best.reverse else 0
+        return SamRecord(
+            qname=name,
+            flag=flag,
+            rname=self.reference_name,
+            pos=best.pos,
+            mapq=mapq,
+            cigar=str(cigar),
+            seq=seq,
+            tags=(f"AS:i:{best.score}",),
+        )
+
+    def align(self, reads) -> list[SamRecord]:
+        """Align a batch of (name, codes) pairs or SimulatedReads."""
+        out = []
+        for read in reads:
+            if hasattr(read, "codes"):
+                out.append(self.align_read(read.codes, read.name))
+            else:
+                name, codes = read
+                out.append(self.align_read(codes, name))
+        return out
+
+    # -- host-side traceback ------------------------------------------------
+
+    def _traceback(self, cand: AlignmentCandidate) -> Cigar:
+        """Build the final CIGAR: traceback runs on the host, once, for
+        the winning extension only."""
+        ops: list[tuple[int, str]] = []
+        if cand.clip_left:
+            ops.append((cand.clip_left, "S"))
+        if cand.left_end != (0, 0):
+            left = traceback_extension(
+                cand.left_query,
+                cand.left_target,
+                self.scoring,
+                cand.left_h0,
+                cand.left_end,
+            )
+            ops.extend(left.reversed().ops)
+        ops.append((cand.seed_len, "M"))
+        if cand.right_end != (0, 0):
+            right = traceback_extension(
+                cand.right_query,
+                cand.right_target,
+                self.scoring,
+                cand.right_h0,
+                cand.right_end,
+            )
+            ops.extend(right.ops)
+        if cand.clip_right:
+            ops.append((cand.clip_right, "S"))
+        return Cigar.from_ops(ops)
+
+
+def _resolve_end(result, h0: int) -> tuple[tuple[int, int], int, int]:
+    """Choose between to-end and clipped extension (BWA's end bonus).
+
+    Returns ``(endpoint, score, clipped_query_chars)``.  The to-end
+    alignment wins when its score is within ``END_BONUS`` of the best
+    local score; otherwise the extension clips at the local maximum.
+    """
+    if result.gpos >= 0 and result.gscore + END_BONUS >= result.lscore:
+        return (result.gpos, result.qlen), result.gscore, 0
+    i, j = result.lpos
+    return (i, j), result.lscore, result.qlen - j
+
+
+def _mapq(best: int, runner_up: int) -> int:
+    """A simple, deterministic mapping quality."""
+    if best <= 0:
+        return 0
+    gap = best - max(runner_up, 0)
+    return max(0, min(60, int(60 * gap / best) if runner_up else 60))

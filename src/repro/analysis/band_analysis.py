@@ -1,0 +1,120 @@
+"""Band-demand analysis (paper Section II-B, Figures 2 and 3).
+
+Two band notions drive the SeedEx design point:
+
+* the **estimated band** — BWA-MEM's a-priori conservative bound,
+  proportional to the query length (the largest gap whose penalty the
+  maximum attainable score could still absorb);
+* the **used band** — the a-posteriori minimal band that reproduces
+  the full-band result bit-for-bit.
+
+Figure 2's gap between the two distributions (38% of extensions
+*estimated* to need w > 40, yet 98% actually needing w <= 10) is the
+paper's motivation; :func:`band_distribution` reproduces both
+histograms from a synthetic corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align import banded
+from repro.align.scoring import BWA_MEM_SCORING, AffineGap
+from repro.genome.synth import ExtensionJob
+
+FIG2_BUCKETS = ((0, 10), (11, 20), (21, 40), (41, 10**9))
+FIG2_BUCKET_LABELS = ("0-10", "11-20", "21-40", ">40")
+
+
+def estimated_band(
+    qlen: int, scoring: AffineGap = BWA_MEM_SCORING, h0: int = 0
+) -> int:
+    """BWA-MEM's conservative a-priori band estimate.
+
+    The largest insertion (or deletion) that could appear in an
+    optimal alignment: a gap longer than this costs more than every
+    query character matching could earn back.
+    """
+    earn = qlen * scoring.match + h0 - scoring.gap_open
+    ge = min(scoring.gap_extend_ins, scoring.gap_extend_del)
+    if ge == 0:
+        return qlen
+    return max(0, min(qlen, earn // ge + 1))
+
+
+def minimal_band(
+    job: ExtensionJob, scoring: AffineGap = BWA_MEM_SCORING
+) -> int:
+    """The a-posteriori "used" band: the smallest ``w`` whose banded
+    result equals the full-band result bit-for-bit.
+
+    Galloping search up from w=1, then bisection; monotonicity holds
+    because growing the band only adds paths.
+    """
+    full = banded.extend(job.query, job.target, scoring, job.h0)
+    target = full.scores()
+
+    def matches(w: int) -> bool:
+        res = banded.extend(job.query, job.target, scoring, job.h0, w=w)
+        return res.scores() == target
+
+    hi = 1
+    cap = max(len(job.query), len(job.target))
+    while hi < cap and not matches(hi):
+        hi *= 2
+    hi = min(hi, cap)
+    lo = hi // 2 if hi > 1 else 0
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if matches(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+@dataclass(frozen=True)
+class BandDistribution:
+    """Bucketed histogram of band demand over a corpus (Figure 2)."""
+
+    labels: tuple[str, ...]
+    estimated: tuple[float, ...]
+    used: tuple[float, ...]
+
+    def fraction_used_at_most(self, w: int) -> float:
+        """Convenience for the paper's '98% need w<=10' style claims."""
+        total = 0.0
+        for (lo, hi), frac in zip(FIG2_BUCKETS, self.used):
+            if hi <= w:
+                total += frac
+        return total
+
+
+def band_distribution(
+    jobs: list[ExtensionJob], scoring: AffineGap = BWA_MEM_SCORING
+) -> BandDistribution:
+    """Estimated-vs-used band histograms over an extension corpus."""
+    if not jobs:
+        raise ValueError("need at least one job")
+    est_counts = [0] * len(FIG2_BUCKETS)
+    used_counts = [0] * len(FIG2_BUCKETS)
+    for job in jobs:
+        # BWA-MEM estimates from the query length alone (the seed
+        # score does not enter its max_ins/max_del formula).
+        est = estimated_band(len(job.query), scoring)
+        used = minimal_band(job, scoring)
+        est_counts[_bucket(est)] += 1
+        used_counts[_bucket(used)] += 1
+    n = len(jobs)
+    return BandDistribution(
+        labels=FIG2_BUCKET_LABELS,
+        estimated=tuple(c / n for c in est_counts),
+        used=tuple(c / n for c in used_counts),
+    )
+
+
+def _bucket(w: int) -> int:
+    for idx, (lo, hi) in enumerate(FIG2_BUCKETS):
+        if lo <= w <= hi:
+            return idx
+    raise AssertionError("bucket ranges cover all non-negative bands")

@@ -1,0 +1,17 @@
+"""Beyond genomics: the SeedEx check applied to other banded DPs.
+
+Paper Section VII-D argues the speculate-and-test scheme generalizes
+to any DP whose computation has single-dimension locality; these
+modules demonstrate it on dynamic time warping and longest common
+subsequence.
+"""
+
+from repro.apps.dtw import banded_dtw, dtw_with_guarantee
+from repro.apps.lcs import banded_lcs, lcs_with_guarantee
+
+__all__ = [
+    "banded_dtw",
+    "banded_lcs",
+    "dtw_with_guarantee",
+    "lcs_with_guarantee",
+]

@@ -1,0 +1,150 @@
+"""Banded dynamic time warping with a SeedEx-style optimality check.
+
+Paper Section VII-D: DTW with a Sakoe-Chiba band is "conceptually
+similar to the banded Needleman-Wunsch", and the SeedEx check idea —
+speculate on a narrow band, test with admissible bounds, rerun on
+failure — transfers directly.  DTW *minimizes*, so the bounds flip:
+
+* while filling the band, record the exact prefix cost at every cell
+  on the band's edges (the analogue of the boundary E-scores);
+* any warp path that leaves the band must pass through an edge cell
+  and then pay at least the sum of per-row minimum step costs for the
+  rows it still has to cross (an admissible lower bound, the analogue
+  of the all-match assumption);
+* if that lower bound meets or exceeds the banded cost, no outside
+  path can be cheaper and the banded result is provably optimal.
+
+``dtw_with_guarantee`` packages the speculate-check-rerun loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+INF = float("inf")
+
+
+def _step_costs(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return np.abs(x[:, None] - y[None, :]).astype(float)
+
+
+def full_dtw(x: np.ndarray, y: np.ndarray) -> float:
+    """Classic O(nm) DTW distance (the rerun / oracle kernel)."""
+    return banded_dtw(x, y, band=max(len(x), len(y)))[0]
+
+
+def banded_dtw(
+    x: np.ndarray, y: np.ndarray, band: int
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Sakoe-Chiba banded DTW.
+
+    Returns ``(cost, upper_edge, lower_edge)`` where the edge arrays
+    hold the exact accumulated cost at the band's boundary diagonals
+    (``i - j = -band`` and ``i - j = +band``), indexed by row — the
+    values any band-leaving warp path must pass through.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n, m = len(x), len(y)
+    if n == 0 or m == 0:
+        raise ValueError("DTW inputs must be non-empty")
+    if band < abs(n - m):
+        raise ValueError(
+            "band narrower than the length difference: no warp path "
+            "fits inside it"
+        )
+    cost = _step_costs(x, y)
+    acc = np.full((n, m), INF)
+    upper_edge = np.full(n, INF)  # cells with j - i = band
+    lower_edge = np.full(n, INF)  # cells with i - j = band
+    for i in range(n):
+        lo = max(0, i - band)
+        hi = min(m - 1, i + band)
+        for j in range(lo, hi + 1):
+            best = INF
+            if i == 0 and j == 0:
+                best = 0.0
+            if i > 0 and acc[i - 1][j] < best:
+                best = acc[i - 1][j]
+            if j > 0 and acc[i][j - 1] < best:
+                best = acc[i][j - 1]
+            if i > 0 and j > 0 and acc[i - 1][j - 1] < best:
+                best = acc[i - 1][j - 1]
+            if best < INF:
+                acc[i][j] = best + cost[i][j]
+        if i + band <= m - 1:
+            upper_edge[i] = acc[i][i + band]
+        if i - band >= 0:
+            lower_edge[i] = acc[i][i - band]
+    return float(acc[n - 1][m - 1]), upper_edge, lower_edge
+
+
+@dataclass(frozen=True)
+class DtwCheck:
+    """The check's verdict and its bound (for reporting)."""
+
+    cost_nb: float
+    outside_lower_bound: float
+
+    @property
+    def optimal(self) -> bool:
+        """No outside path can be strictly cheaper."""
+        return self.outside_lower_bound >= self.cost_nb
+
+
+def dtw_optimality_check(
+    x: np.ndarray,
+    y: np.ndarray,
+    band: int,
+    cost_nb: float,
+    upper_edge: np.ndarray,
+    lower_edge: np.ndarray,
+) -> DtwCheck:
+    """Lower-bound every band-leaving warp path.
+
+    A path leaving through edge cell ``(i, j)`` has already paid the
+    exact in-band prefix ``acc[i][j]`` and must still traverse rows
+    ``i+1 .. n-1``, paying at least each row's minimum step cost —
+    admissible because every warp path visits every row at least once
+    and step costs are non-negative.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n = len(x)
+    cost = _step_costs(x, y)
+    row_min = cost.min(axis=1)
+    suffix = np.concatenate([np.cumsum(row_min[::-1])[::-1], [0.0]])
+    bound = INF
+    for i in range(n):
+        for edge in (upper_edge[i], lower_edge[i]):
+            if edge < INF:
+                cand = edge + suffix[i + 1]
+                if cand < bound:
+                    bound = cand
+    return DtwCheck(cost_nb=cost_nb, outside_lower_bound=bound)
+
+
+@dataclass(frozen=True)
+class DtwResult:
+    cost: float
+    band: int
+    optimal_by_check: bool
+    rerun: bool
+
+
+def dtw_with_guarantee(
+    x: np.ndarray, y: np.ndarray, band: int
+) -> DtwResult:
+    """Speculate on a narrow band; rerun full DTW if the check fails.
+
+    The returned cost always equals :func:`full_dtw`'s (property-
+    tested); the check only decides whether the cheap banded run was
+    already provably optimal.
+    """
+    cost_nb, upper, lower = banded_dtw(x, y, band)
+    check = dtw_optimality_check(x, y, band, cost_nb, upper, lower)
+    if check.optimal:
+        return DtwResult(cost_nb, band, True, False)
+    return DtwResult(full_dtw(x, y), band, False, True)

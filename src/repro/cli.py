@@ -1,0 +1,252 @@
+"""Command-line interface: simulate workloads and align reads.
+
+Usage::
+
+    python -m repro.cli simulate --length 50000 --reads 200 \
+        --out-reference ref.fasta --out-reads reads.fastq
+
+    python -m repro.cli align --reference ref.fasta --reads reads.fastq \
+        --out out.sam --engine seedex --band 41
+
+    python -m repro.cli analyze --reference ref.fasta --reads reads.fastq
+
+The ``align`` command is the end-to-end pipeline with the SeedEx
+engine by default — its output is bit-identical to ``--engine full``
+at any ``--band``.  ``analyze`` reports the check passing rates the
+chosen band would achieve on the given workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.aligner.engines import (
+    FullBandEngine,
+    PlainBandedEngine,
+    SeedExEngine,
+)
+from repro.aligner.pipeline import Aligner
+from repro.genome.io_fasta import (
+    FastaRecord,
+    FastqRecord,
+    read_fasta,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+from repro.genome.sam import write_sam
+from repro.genome.sequence import decode, encode
+from repro.genome.synth import (
+    CLEAN,
+    PLATINUM_LIKE,
+    ReadSimulator,
+    synthesize_reference,
+)
+
+PROFILES = {"platinum": PLATINUM_LIKE, "clean": CLEAN}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="generate a synthetic workload")
+    sim.add_argument("--length", type=int, default=50_000)
+    sim.add_argument("--reads", type=int, default=100)
+    sim.add_argument("--profile", choices=sorted(PROFILES), default="platinum")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--out-reference", required=True)
+    sim.add_argument("--out-reads", required=True)
+    sim.add_argument(
+        "--paired",
+        action="store_true",
+        help="write an interleaved paired-end FASTQ (FR, insert ~400)",
+    )
+
+    aln = sub.add_parser("align", help="align reads to a reference")
+    aln.add_argument("--reference", required=True)
+    aln.add_argument("--reads", required=True)
+    aln.add_argument("--out", required=True)
+    aln.add_argument(
+        "--engine", choices=("seedex", "full", "banded"), default="seedex"
+    )
+    aln.add_argument("--band", type=int, default=41)
+    aln.add_argument("--seeding", choices=("smem", "kmer"), default="kmer")
+    aln.add_argument(
+        "--paired",
+        action="store_true",
+        help="treat the FASTQ as interleaved pairs (mate rescue on)",
+    )
+
+    ana = sub.add_parser("analyze", help="check passing rates for a band")
+    ana.add_argument("--reference", required=True)
+    ana.add_argument("--reads", required=True)
+    ana.add_argument("--band", type=int, default=41)
+    ana.add_argument("--seeding", choices=("smem", "kmer"), default="kmer")
+    return parser
+
+
+def _load_reference(path: str) -> tuple[str, np.ndarray]:
+    records = read_fasta(path)
+    if not records:
+        raise SystemExit(f"error: {path} contains no FASTA records")
+    if len(records) > 1:
+        print(
+            f"warning: using first of {len(records)} reference records",
+            file=sys.stderr,
+        )
+    rec = records[0]
+    return rec.name, encode(rec.sequence)
+
+
+def _make_engine(args: argparse.Namespace):
+    if args.engine == "seedex":
+        return SeedExEngine(band=args.band)
+    if args.engine == "full":
+        return FullBandEngine()
+    return PlainBandedEngine(args.band)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Generate a synthetic reference + FASTQ workload."""
+    rng = np.random.default_rng(args.seed)
+    reference = synthesize_reference(args.length, rng)
+    records: list[FastqRecord] = []
+    if args.paired:
+        from repro.aligner.paired import simulate_pairs
+
+        for pair, _, _ in simulate_pairs(
+            reference, args.reads, rng, profile=PROFILES[args.profile]
+        ):
+            for suffix, codes in (("/1", pair.first), ("/2", pair.second)):
+                records.append(
+                    FastqRecord(
+                        pair.name + suffix,
+                        decode(codes),
+                        "I" * len(codes),
+                    )
+                )
+    else:
+        sim = ReadSimulator(
+            reference, PROFILES[args.profile], seed=args.seed
+        )
+        records = [
+            FastqRecord(r.name, r.sequence, "I" * len(r.codes))
+            for r in sim.simulate(args.reads)
+        ]
+    with open(args.out_reference, "w") as handle:
+        write_fasta(handle, [FastaRecord("chr1", decode(reference))])
+    with open(args.out_reads, "w") as handle:
+        write_fastq(handle, records)
+    print(
+        f"wrote {args.length} bp reference to {args.out_reference} and "
+        f"{len(records)} reads to {args.out_reads}"
+    )
+    return 0
+
+
+def cmd_align(args: argparse.Namespace) -> int:
+    """Align a FASTQ against a FASTA reference, write SAM."""
+    name, reference = _load_reference(args.reference)
+    reads = read_fastq(args.reads)
+    engine = _make_engine(args)
+    start = time.perf_counter()
+    if args.paired:
+        from repro.aligner.paired import PairedAligner, ReadPair
+
+        if len(reads) % 2:
+            raise SystemExit(
+                "error: --paired needs an even number of reads "
+                "(interleaved mates)"
+            )
+        paired = PairedAligner(reference, engine, seeding=args.seeding)
+        paired.aligner.reference_name = name
+        records = []
+        for first, second in zip(reads[0::2], reads[1::2]):
+            pname = first.name.rstrip("/1")
+            r1, r2 = paired.align_pair(
+                ReadPair(pname, encode(first.sequence),
+                         encode(second.sequence))
+            )
+            records.extend([r1, r2])
+        elapsed = time.perf_counter() - start
+        with open(args.out, "w") as handle:
+            write_sam(handle, records, name, len(reference))
+        mapped = sum(1 for r in records if not r.is_unmapped)
+        print(
+            f"aligned {len(records) // 2} pairs ({mapped} mates mapped, "
+            f"{paired.stats.proper} proper, {paired.stats.rescued} "
+            f"rescued) in {elapsed:.1f}s with engine {engine.name}"
+        )
+        return 0
+    aligner = Aligner(
+        reference,
+        engine,
+        seeding=args.seeding,
+        reference_name=name,
+    )
+    records = [
+        aligner.align_read(encode(r.sequence), r.name) for r in reads
+    ]
+    elapsed = time.perf_counter() - start
+    with open(args.out, "w") as handle:
+        write_sam(handle, records, name, len(reference))
+    mapped = sum(1 for r in records if not r.is_unmapped)
+    print(
+        f"aligned {len(records)} reads ({mapped} mapped) in "
+        f"{elapsed:.1f}s with engine {engine.name}"
+    )
+    if isinstance(engine, SeedExEngine):
+        stats = engine.stats
+        print(
+            f"check passing rate {stats.passing_rate:.1%} "
+            f"({stats.reruns} full-band reruns of {stats.total} "
+            "extensions)"
+        )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Report check passing rates for a workload at one band."""
+    name, reference = _load_reference(args.reference)
+    reads = read_fastq(args.reads)
+    engine = SeedExEngine(band=args.band)
+    aligner = Aligner(
+        reference, engine, seeding=args.seeding, reference_name=name
+    )
+    for r in reads:
+        aligner.align_read(encode(r.sequence), r.name)
+    stats = engine.stats
+    print(f"band: {args.band}")
+    print(f"extensions: {stats.total}")
+    print(f"threshold-only passing rate: {stats.threshold_only_rate:.1%}")
+    print(f"overall passing rate: {stats.passing_rate:.1%}")
+    print(f"rerun fraction: {stats.reruns / max(1, stats.total):.1%}")
+    for outcome, count in sorted(
+        stats.by_outcome.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {outcome.name:12s} {count}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": cmd_simulate,
+        "align": cmd_align,
+        "analyze": cmd_analyze,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

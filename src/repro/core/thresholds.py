@@ -1,0 +1,134 @@
+"""Threshold scores S1/S2 (paper Section III-A, Theorem 1).
+
+The thresholds are analytic upper bounds on the final score of any
+alignment path that ever leaves the band:
+
+* ``S1`` bounds paths that cross the band's *upper* edge (more query
+  than reference consumed — a net insertion run longer than ``w``):
+  such a path pays at least one gap open plus ``w`` extensions and can
+  match at most ``N - w`` of the remaining query characters.
+* ``S2`` bounds paths that cross the band's *lower* edge (a net
+  deletion run longer than ``w``): deletions consume no query, so all
+  ``N`` query characters may still match, which is why ``S2 >= S1`` is
+  the stricter-to-beat threshold.
+
+Both are *admissible*: every step that raises the score is a diagonal
+match (+m) consuming one query character, so score gains are bounded by
+m times the unconsumed query, and the charged gap penalty is a lower
+bound on what the crossing actually costs.  Global alignment doubles
+the gap charge because a global path that leaves the band must also
+come back (the paper's "replace go with 2go and ge with 2ge").
+
+When a side of the band has no outside region (the band covers it),
+that threshold is ``None`` — no constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.scoring import AffineGap
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """The pair (S1, S2); ``None`` means the region does not exist."""
+
+    s1: int | None
+    s2: int | None
+
+    def classify(self, score_nb: int) -> str:
+        """Paper Figure 6's three-way split on the narrow-band score.
+
+        Returns ``"fail"`` (case a: rerun), ``"pass"`` (case b: optimal),
+        or ``"between"`` (case c: further checks needed).
+        """
+        if self.s1 is not None and score_nb <= self.s1:
+            return "fail"
+        if self.s2 is None or score_nb > self.s2:
+            return "pass"
+        return "between"
+
+
+def semiglobal_thresholds(
+    scoring: AffineGap,
+    qlen: int,
+    tlen: int,
+    band: int,
+    h0: int,
+) -> Thresholds:
+    """S1/S2 for semi-global extension (paper Eq. 4-5).
+
+    ``S1 = h0 - (go + w*ge) + (N - w)*m`` and
+    ``S2 = h0 - (go + w*ge) + N*m`` with the insertion/deletion gap
+    extension applied to the side it crosses.
+    """
+    m = scoring.match
+    go = scoring.gap_open
+    s1 = None
+    if qlen > band:
+        s1 = h0 - (go + band * scoring.gap_extend_ins) + (qlen - band) * m
+    s2 = None
+    if tlen > band:
+        s2 = h0 - (go + band * scoring.gap_extend_del) + qlen * m
+    return Thresholds(s1=s1, s2=s2)
+
+
+def global_thresholds(
+    scoring: AffineGap,
+    qlen: int,
+    tlen: int,
+    band: int,
+    h0: int = 0,
+) -> Thresholds:
+    """S1/S2 for global alignment.
+
+    A global path must end at ``(tlen, qlen)``, which is inside the
+    band only when ``|tlen - qlen| <= band``; the configuration is
+    rejected otherwise.  A band departure must be paid back with an
+    opposite gap before reaching the corner.
+
+    The paper's prose suggests "replace go with 2go and ge with 2ge";
+    that formula is *not* admissible when the endpoint diagonal
+    ``d0 = tlen - qlen`` sits near the band edge (the return gap can be
+    as short as one character, much cheaper than ``go + w*ge``).  We
+    therefore charge exactly what every departing path must pay:
+
+    * below the band: deletions ``>= w+1`` plus a return insertion run
+      of ``>= w+1-d0`` characters (each return insertion also forfeits
+      one potential match);
+    * above the band: insertions ``>= w+1`` (each forfeiting a match)
+      plus a return deletion run of ``>= w+1+d0`` characters.
+    """
+    d0 = tlen - qlen
+    if abs(d0) > band:
+        raise ValueError(
+            "global alignment endpoint lies outside the band; "
+            "increase the band"
+        )
+    m = scoring.match
+    go = scoring.gap_open
+    ge_i = scoring.gap_extend_ins
+    ge_d = scoring.gap_extend_del
+    w = band
+    s1 = None
+    if qlen > band:
+        ins = w + 1
+        ret_del = w + 1 + d0
+        s1 = (
+            h0
+            + (qlen - ins) * m
+            - (go + ins * ge_i)
+            - (go + ret_del * ge_d)
+        )
+    s2 = None
+    if tlen > band:
+        dels = w + 1
+        ret_ins = w + 1 - d0
+        s2 = (
+            h0
+            + (qlen - ret_ins) * m
+            - (go + dels * ge_d)
+            - (go + ret_ins * ge_i)
+        )
+    return Thresholds(s1=s1, s2=s2)

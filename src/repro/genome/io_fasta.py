@@ -1,0 +1,108 @@
+"""FASTA and FASTQ parsing and writing.
+
+The pipeline's on-disk interchange formats: references travel as FASTA
+(the paper indexes GRCh38 from the UCSC browser), reads as FASTQ (the
+paper streams ERR194147).  Both parsers are deliberately strict — a
+malformed record raises instead of silently truncating a genome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    name: str
+    sequence: str
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    name: str
+    sequence: str
+    quality: str
+
+    def __post_init__(self) -> None:
+        if len(self.sequence) != len(self.quality):
+            raise ValueError(
+                f"quality length {len(self.quality)} != sequence length "
+                f"{len(self.sequence)} for read {self.name!r}"
+            )
+
+
+def parse_fasta(handle: TextIO) -> Iterator[FastaRecord]:
+    """Yield records from a FASTA stream (multi-line sequences ok)."""
+    name: str | None = None
+    chunks: list[str] = []
+    for lineno, raw in enumerate(handle, 1):
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                yield FastaRecord(name, "".join(chunks))
+            name = line[1:].split()[0] if len(line) > 1 else ""
+            if not name:
+                raise ValueError(f"empty FASTA header at line {lineno}")
+            chunks = []
+        else:
+            if name is None:
+                raise ValueError(
+                    f"sequence before any FASTA header at line {lineno}"
+                )
+            chunks.append(line)
+    if name is not None:
+        yield FastaRecord(name, "".join(chunks))
+
+
+def read_fasta(path: str | Path) -> list[FastaRecord]:
+    """Read all records of a FASTA file."""
+    with open(path) as handle:
+        return list(parse_fasta(handle))
+
+
+def write_fasta(
+    handle: TextIO, records: Iterable[FastaRecord], width: int = 70
+) -> None:
+    """Write FASTA with ``width``-column line wrapping."""
+    for rec in records:
+        handle.write(f">{rec.name}\n")
+        seq = rec.sequence
+        for i in range(0, len(seq), width):
+            handle.write(seq[i : i + width] + "\n")
+
+
+def parse_fastq(handle: TextIO) -> Iterator[FastqRecord]:
+    """Yield records from a FASTQ stream (4-line records)."""
+    while True:
+        header = handle.readline()
+        if not header:
+            return
+        header = header.rstrip("\n")
+        if not header:
+            continue
+        if not header.startswith("@"):
+            raise ValueError(f"bad FASTQ header: {header!r}")
+        seq = handle.readline().rstrip("\n")
+        plus = handle.readline().rstrip("\n")
+        qual = handle.readline().rstrip("\n")
+        if not plus.startswith("+"):
+            raise ValueError(f"bad FASTQ separator for {header!r}")
+        if not qual and seq:
+            raise ValueError(f"truncated FASTQ record {header!r}")
+        yield FastqRecord(header[1:].split()[0], seq, qual)
+
+
+def read_fastq(path: str | Path) -> list[FastqRecord]:
+    """Read all records of a FASTQ file."""
+    with open(path) as handle:
+        return list(parse_fastq(handle))
+
+
+def write_fastq(handle: TextIO, records: Iterable[FastqRecord]) -> None:
+    """Write records as 4-line FASTQ."""
+    for rec in records:
+        handle.write(f"@{rec.name}\n{rec.sequence}\n+\n{rec.quality}\n")

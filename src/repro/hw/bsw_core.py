@@ -1,0 +1,73 @@
+"""BSW Core: one banded systolic engine plus its job interface.
+
+Wraps the cycle-level array of :mod:`repro.hw.systolic` with the
+buffer/accumulator timing the paper attributes to the core (input
+shift-register initialization and score reduction scale with the
+band), and exposes the exception-driven rerun contract: a job whose
+speculative early termination proved wrong is flagged, not silently
+mis-scored.
+
+For throughput-oriented simulation (thousands of jobs), the core can
+run in ``fast`` mode: scores come from the bit-identical software
+kernel while cycles come from the calibrated timing model.  ``cycle``
+mode steps every PE and is used by the validation tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align import banded
+from repro.align.banded import ExtensionResult
+from repro.align.scoring import BWA_MEM_SCORING, AffineGap
+from repro.hw import timing
+from repro.hw.systolic import SystolicBSW
+
+
+@dataclass(frozen=True)
+class CoreJobResult:
+    """One job through a BSW core."""
+
+    result: ExtensionResult
+    exception: bool
+    cycles: float
+
+
+class BSWCore:
+    """One banded Smith-Waterman core."""
+
+    def __init__(
+        self,
+        band: int,
+        scoring: AffineGap = BWA_MEM_SCORING,
+        mode: str = "fast",
+    ) -> None:
+        if mode not in ("fast", "cycle"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.band = band
+        self.scoring = scoring
+        self.mode = mode
+        self._array = SystolicBSW(band, scoring)
+        self.jobs = 0
+        self.busy_cycles = 0.0
+
+    def run(
+        self, query: np.ndarray, target: np.ndarray, h0: int
+    ) -> CoreJobResult:
+        """Process one extension job through this core."""
+        self.jobs += 1
+        if self.mode == "cycle":
+            run = self._array.run(query, target, h0)
+            out = CoreJobResult(run.result, run.exception, float(run.cycles))
+        else:
+            result = banded.extend(
+                query, target, self.scoring, h0, w=self.band
+            )
+            cycles = timing.initiation_interval_cycles(
+                self.band, read_length=max(1, len(query))
+            )
+            out = CoreJobResult(result, False, cycles)
+        self.busy_cycles += out.cycles
+        return out

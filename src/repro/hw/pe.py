@@ -1,0 +1,69 @@
+"""The affine-gap processing element (paper Figure 8).
+
+One PE computes one DP cell per cycle: the cell score ``H`` from the
+diagonal input plus substitution score, the vertical ``E`` channel it
+forwards to the cell below, and the horizontal ``F`` channel it
+forwards to the cell on its right.  Semantics are identical to the
+software kernels (dead-at-zero extension scoring); the systolic model
+composes these steps along anti-diagonal wavefronts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.scoring import AffineGap
+
+
+@dataclass(frozen=True)
+class PEOutput:
+    """One cell's result: its score and the two forwarded channels."""
+
+    h: int
+    e_out: int
+    f_out: int
+
+
+def affine_pe_step(
+    h_diag: int,
+    e_in: int,
+    f_in: int,
+    substitution: int,
+    scoring: AffineGap,
+) -> PEOutput:
+    """Compute one extension-mode DP cell.
+
+    ``h_diag`` is H of the upper-left neighbour, ``e_in`` the E channel
+    arriving from above (already extended to this row), ``f_in`` the F
+    channel arriving from the left.  Dead cells (score 0) cannot seed
+    diagonal moves.
+    """
+    diag = h_diag + substitution if h_diag > 0 else 0
+    h = max(diag, e_in, f_in, 0)
+    e_out = max(
+        0, max(h - scoring.gap_open, e_in) - scoring.gap_extend_del
+    )
+    f_out = max(
+        0, max(h - scoring.gap_open, f_in) - scoring.gap_extend_ins
+    )
+    return PEOutput(h=h, e_out=e_out, f_out=f_out)
+
+
+def init_row_value(h0: int, j: int, scoring: AffineGap) -> int:
+    """Progressive initialization value for row 0, column ``j``."""
+    if j == 0:
+        return h0
+    return max(
+        0,
+        h0 - scoring.gap_open - j * scoring.gap_extend_ins,
+    )
+
+
+def init_col_value(h0: int, i: int, scoring: AffineGap) -> int:
+    """Progressive initialization value for column 0, row ``i``."""
+    if i == 0:
+        return h0
+    return max(
+        0,
+        h0 - scoring.gap_open - i * scoring.gap_extend_del,
+    )

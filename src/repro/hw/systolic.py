@@ -1,0 +1,245 @@
+"""Cycle-level model of the banded Smith-Waterman systolic array.
+
+The BSW Core (paper Figure 8) is a vector of PEs marching along the
+matrix's main diagonal: each cycle the array computes one anti-diagonal
+segment of the band.  This model steps those wavefronts explicitly —
+one :func:`repro.hw.pe.affine_pe_step` per active cell per cycle — and
+reproduces, at functional fidelity:
+
+* progressive score initialization (the first row/column values enter
+  through the E/F channels instead of long broadcast wires);
+* the local/global score accumulators (strict-improvement updates, so
+  tie-breaking matches the software kernels bit for bit);
+* boundary E capture for the optimality checks;
+* **speculative early termination** (Section IV-A): a row is cut after
+  two consecutive dead cells; because the array processes several rows
+  at once, a positive score can still flow into the cut region from
+  above — the model raises the paper's exception flag, and such jobs
+  are rerun on the host.
+
+The model also reports cycle counts and PE-occupancy statistics, which
+calibrate the throughput model in :mod:`repro.hw.timing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.banded import (
+    ExtensionResult,
+    boundary_length,
+    upper_boundary_length,
+)
+from repro.align.fullmatrix import scan_scores
+from repro.align.scoring import AffineGap
+from repro.hw.pe import affine_pe_step, init_col_value, init_row_value
+
+
+@dataclass(frozen=True)
+class SystolicRun:
+    """One extension's functional result plus hardware telemetry."""
+
+    result: ExtensionResult
+    exception: bool
+    cycles: int
+    cells_computed: int
+    pe_count: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of PE-cycles that did useful work."""
+        denom = self.pe_count * self.cycles
+        return self.cells_computed / denom if denom else 0.0
+
+
+class SystolicBSW:
+    """A banded systolic array of ``band + 1`` PEs."""
+
+    def __init__(
+        self,
+        band: int,
+        scoring: AffineGap,
+        speculative_termination: bool = True,
+    ) -> None:
+        if band < 1:
+            raise ValueError("band must be at least 1")
+        self.band = band
+        self.scoring = scoring
+        self.speculative_termination = speculative_termination
+
+    @property
+    def pe_count(self) -> int:
+        """Processing elements in the array (band + 1)."""
+        # Cells on one anti-diagonal within the band: at most band+1.
+        return self.band + 1
+
+    def run(
+        self, query: np.ndarray, target: np.ndarray, h0: int
+    ) -> SystolicRun:
+        """Process one extension job wavefront by wavefront."""
+        if h0 < 0:
+            raise ValueError("h0 must be non-negative")
+        query = np.asarray(query, dtype=np.int64)
+        target = np.asarray(target, dtype=np.int64)
+        scoring = self.scoring
+        w = self.band
+        qlen = len(query)
+        tlen = len(target)
+
+        h = np.zeros((tlen + 1, qlen + 1), dtype=np.int64)
+        e = np.zeros((tlen + 1, qlen + 1), dtype=np.int64)
+        f = np.zeros((tlen + 1, qlen + 1), dtype=np.int64)
+        computed = np.zeros((tlen + 1, qlen + 1), dtype=bool)
+
+        # Progressive initialization (cycle 0): origin plus decaying
+        # first row/column inside the band.
+        h[0][0] = h0
+        computed[0][0] = True
+        for j in range(1, min(qlen, w) + 1):
+            h[0][j] = init_row_value(h0, j, scoring)
+            f[0][j] = h[0][j]
+            computed[0][j] = True
+        for i in range(1, min(tlen, w) + 1):
+            h[i][0] = init_col_value(h0, i, scoring)
+            e[i][0] = h[i][0]
+            computed[i][0] = True
+
+        n_boundary = boundary_length(qlen, tlen, w)
+        boundary_e = np.zeros(n_boundary, dtype=np.int64)
+        if n_boundary > 0 and w <= tlen - 1:
+            # Column 0's boundary value comes straight from the
+            # progressive-initialization register, not from a PE.
+            boundary_e[0] = max(
+                0,
+                max(
+                    int(h[min(w, tlen)][0]) - scoring.gap_open,
+                    int(e[min(w, tlen)][0]),
+                )
+                - scoring.gap_extend_del,
+            )
+
+        # Per-row speculative cut: column index past which the row is
+        # terminated; -1 means the row is still live.
+        cut = np.full(tlen + 1, -1, dtype=np.int64)
+        zeros_run = np.zeros(tlen + 1, dtype=np.int64)
+        row_was_alive = np.zeros(tlen + 1, dtype=bool)
+        exception = False
+
+        cells = int(computed.sum())
+        cycles = 1  # the initialization cycle
+        for t in range(2, qlen + tlen + 1):
+            # Active cells on anti-diagonal i + j = t inside the band.
+            i_lo = max(1, t - qlen, (t - w + 1) // 2)
+            i_hi = min(tlen, t - 1, (t + w) // 2)
+            if i_lo > i_hi:
+                continue
+            cycles += 1
+            for i in range(i_lo, i_hi + 1):
+                j = t - i
+                if self.speculative_termination and cut[i] >= 0 and j > cut[i]:
+                    # Row is cut; the paper's exception fires when a
+                    # positive score would still flow in from above.
+                    e_in = max(
+                        0,
+                        max(h[i - 1][j] - scoring.gap_open, e[i - 1][j])
+                        - scoring.gap_extend_del,
+                    )
+                    diag = h[i - 1][j - 1]
+                    if e_in > 0 or diag > 0:
+                        exception = True
+                    continue
+                e_in = max(
+                    0,
+                    max(h[i - 1][j] - scoring.gap_open, e[i - 1][j])
+                    - scoring.gap_extend_del,
+                )
+                f_in = f[i][j - 1] if computed[i][j - 1] else 0
+                sub = scoring.substitution(
+                    int(target[i - 1]), int(query[j - 1])
+                )
+                out = affine_pe_step(
+                    int(h[i - 1][j - 1]), e_in, f_in, sub, scoring
+                )
+                h[i][j] = out.h
+                e[i][j] = e_in
+                f[i][j] = out.f_out
+                computed[i][j] = True
+                cells += 1
+
+                # Speculative termination bookkeeping.
+                if out.h > 0:
+                    row_was_alive[i] = True
+                if out.h == 0 and e_in == 0:
+                    zeros_run[i] += 1
+                    if (
+                        self.speculative_termination
+                        and row_was_alive[i]
+                        and zeros_run[i] > 2
+                        and cut[i] < 0
+                    ):
+                        cut[i] = j
+                else:
+                    zeros_run[i] = 0
+
+                # Boundary E capture at the band's lower edge.
+                bj = i - w
+                if bj == j and 0 <= bj < n_boundary and i + 1 <= tlen:
+                    boundary_e[bj] = max(
+                        0,
+                        max(out.h - scoring.gap_open, e_in)
+                        - scoring.gap_extend_del,
+                    )
+
+        # Score reduction: the hardware's lscore/gscore accumulator
+        # shift registers implement the same strict-improvement
+        # row-major reduction as the software kernel; model it with
+        # the canonical scan so tie-breaking is bit-identical.
+        lscore, lpos, gscore, gpos, max_off = scan_scores(
+            h, h0, qlen, scoring.match
+        )
+
+        # Upper-boundary F caps, reconstructed from the H plane with
+        # the same conservative formula the software kernel uses.
+        n_upper = upper_boundary_length(qlen, tlen, w)
+        boundary_f = np.zeros(n_upper, dtype=np.int64)
+        if n_upper > 0:
+            boundary_f[0] = max(
+                0, h0 - scoring.gap_open - (w + 1) * scoring.gap_extend_ins
+            )
+            ge_i = scoring.gap_extend_ins
+            for i in range(1, n_upper):
+                lo = max(0, i - w)
+                hi = min(qlen, i + w)
+                cols = np.arange(lo, hi + 1, dtype=np.int64)
+                src = int(np.max(h[i, lo : hi + 1] + cols * ge_i))
+                boundary_f[i] = max(
+                    0, src - scoring.gap_open - (i + w + 1) * ge_i
+                )
+
+        result = ExtensionResult(
+            lscore=lscore,
+            lpos=lpos,
+            gscore=gscore,
+            gpos=gpos,
+            max_off=max_off,
+            band=w,
+            h0=h0,
+            qlen=qlen,
+            tlen=tlen,
+            boundary_e=boundary_e,
+            cells_computed=cells,
+            terminated_early=bool((cut >= 0).any()),
+            boundary_f=boundary_f,
+        )
+        # Drain: the accumulator shift-register reduction adds a
+        # band-proportional tail (Section IV-A).
+        total_cycles = cycles + self.pe_count
+        return SystolicRun(
+            result=result,
+            exception=exception,
+            cycles=total_cycles,
+            cells_computed=cells,
+            pe_count=self.pe_count,
+        )

@@ -1,0 +1,113 @@
+"""Seed chaining: group co-linear seeds into alignment candidates.
+
+Between seeding and extension, BWA-MEM chains seeds that lie on nearby
+reference diagonals in consistent order, then extends the best chains
+only.  This is the standard O(n^2) weighted chaining DP over seeds
+sorted by query position, with BWA-like gating on diagonal drift and
+gap size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.seeding.mems import Seed
+
+
+@dataclass
+class Chain:
+    """An ordered, co-linear group of seeds."""
+
+    seeds: list[Seed] = field(default_factory=list)
+    score: int = 0
+
+    @property
+    def anchor(self) -> Seed:
+        """The longest seed: the one extension grows from."""
+        return max(self.seeds, key=lambda s: (s.length, -s.qbegin))
+
+    @property
+    def qbegin(self) -> int:
+        """First query position covered by the chain."""
+        return min(s.qbegin for s in self.seeds)
+
+    @property
+    def qend(self) -> int:
+        """One past the last query position covered."""
+        return max(s.qend for s in self.seeds)
+
+    @property
+    def rbegin(self) -> int:
+        """Leftmost reference position of the chain."""
+        return min(s.rbegin for s in self.seeds)
+
+    @property
+    def diagonal(self) -> int:
+        """The anchor seed's reference diagonal."""
+        return self.anchor.diagonal
+
+
+def chain_seeds(
+    seeds: list[Seed],
+    max_gap: int = 100,
+    max_diagonal_drift: int = 50,
+) -> list[Chain]:
+    """Chain seeds into candidates, best chain first.
+
+    Two seeds may chain when the later one starts after the earlier in
+    both query and reference, the implied gap is at most ``max_gap``,
+    and their diagonals differ by at most ``max_diagonal_drift``.
+    Chain score is total seed coverage minus a small drift penalty.
+    """
+    if not seeds:
+        return []
+    order = sorted(seeds, key=lambda s: (s.qbegin, s.rbegin))
+    n = len(order)
+    best = [s.length for s in order]
+    back = [-1] * n
+    for i in range(n):
+        si = order[i]
+        for j in range(i):
+            sj = order[j]
+            if sj.qend > si.qbegin or sj.rbegin + sj.length > si.rbegin:
+                continue
+            qgap = si.qbegin - sj.qend
+            rgap = si.rbegin - (sj.rbegin + sj.length)
+            if qgap > max_gap or rgap > max_gap:
+                continue
+            drift = abs(si.diagonal - sj.diagonal)
+            if drift > max_diagonal_drift:
+                continue
+            cand = best[j] + si.length - min(drift, si.length - 1)
+            if cand > best[i]:
+                best[i] = cand
+                back[i] = j
+    # Collect chains greedily from the best unconsumed tails.
+    consumed = [False] * n
+    chains = []
+    for i in sorted(range(n), key=lambda k: -best[k]):
+        if consumed[i]:
+            continue
+        members = []
+        k = i
+        while k != -1 and not consumed[k]:
+            consumed[k] = True
+            members.append(order[k])
+            k = back[k]
+        members.reverse()
+        chains.append(Chain(seeds=members, score=best[i]))
+    chains.sort(key=lambda c: -c.score)
+    return chains
+
+
+def filter_chains(
+    chains: list[Chain],
+    max_chains: int = 3,
+    min_score_fraction: float = 0.5,
+) -> list[Chain]:
+    """Keep the strongest chains, as BWA-MEM does before extension."""
+    if not chains:
+        return []
+    cutoff = chains[0].score * min_score_fraction
+    kept = [c for c in chains if c.score >= cutoff]
+    return kept[:max_chains]

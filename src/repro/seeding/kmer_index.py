@@ -1,0 +1,108 @@
+"""Hash-based k-mer seeding (the ERT stand-in).
+
+The paper pairs SeedEx with the ERT seeding accelerator; this module
+is the software stand-in with the same role: produce anchor seeds fast
+at the cost of a bigger index.  Fixed-length k-mers are hashed to
+reference positions; query k-mers look up anchors which are then
+greedily extended to maximal matches so the chaining stage sees seeds
+comparable to SMEMs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.seeding.mems import Seed
+
+
+class KmerIndex:
+    """Exact k-mer hash index over an encoded, N-free reference."""
+
+    def __init__(self, reference: np.ndarray, k: int = 19) -> None:
+        reference = np.asarray(reference, dtype=np.int64)
+        if k < 1 or k > 31:
+            raise ValueError("k must be in [1, 31]")
+        if len(reference) < k:
+            raise ValueError("reference shorter than k")
+        if reference.max(initial=0) >= 4:
+            raise ValueError("reference must be N-free for k-mer packing")
+        self.k = k
+        self.reference = reference.astype(np.uint8)
+        keys = _pack_kmers(reference, k)
+        order = np.argsort(keys, kind="stable")
+        self._sorted_keys = keys[order]
+        self._positions = order.astype(np.int64)
+
+    def lookup(self, kmer: np.ndarray) -> np.ndarray:
+        """Reference start positions of an exact k-mer (sorted)."""
+        kmer = np.asarray(kmer, dtype=np.int64)
+        if len(kmer) != self.k:
+            raise ValueError(f"need a {self.k}-mer, got {len(kmer)}")
+        if kmer.max(initial=0) >= 4:
+            return np.zeros(0, dtype=np.int64)
+        key = _pack_kmers(kmer, self.k)[0]
+        lo = np.searchsorted(self._sorted_keys, key, side="left")
+        hi = np.searchsorted(self._sorted_keys, key, side="right")
+        return np.sort(self._positions[lo:hi])
+
+    def seed_read(
+        self,
+        query: np.ndarray,
+        stride: int = 4,
+        max_occurrences: int = 32,
+    ) -> list[Seed]:
+        """Anchor + extend seeding for a whole read.
+
+        Query k-mers every ``stride`` bases are looked up; each hit is
+        extended left and right to a maximal exact match, and
+        duplicates (same extended seed reached from different anchors)
+        are merged.
+        """
+        query = np.asarray(query, dtype=np.uint8)
+        ref = self.reference
+        found: set[tuple[int, int, int]] = set()
+        out: list[Seed] = []
+        starts = list(range(0, max(1, len(query) - self.k + 1), stride))
+        if starts and starts[-1] != len(query) - self.k and len(query) >= self.k:
+            starts.append(len(query) - self.k)
+        for qb in starts:
+            kmer = query[qb : qb + self.k]
+            if len(kmer) < self.k:
+                continue
+            hits = self.lookup(kmer)
+            if len(hits) > max_occurrences:
+                continue
+            for rb in hits:
+                seed = _extend_maximal(query, ref, qb, int(rb), self.k)
+                key = (seed.qbegin, seed.qend, seed.rbegin)
+                if key not in found:
+                    found.add(key)
+                    out.append(seed)
+        out.sort(key=lambda s: (s.qbegin, s.rbegin))
+        return out
+
+
+def _pack_kmers(seq: np.ndarray, k: int) -> np.ndarray:
+    """2-bit pack every k-mer of ``seq`` into one integer key."""
+    seq = np.asarray(seq, dtype=np.int64)
+    n = len(seq) - k + 1
+    if n <= 0:
+        return np.zeros(0, dtype=np.int64)
+    keys = np.zeros(n, dtype=np.int64)
+    for offset in range(k):
+        keys = (keys << 2) | seq[offset : offset + n]
+    return keys
+
+
+def _extend_maximal(
+    query: np.ndarray, ref: np.ndarray, qb: int, rb: int, k: int
+) -> Seed:
+    """Grow an exact k-mer hit to its maximal exact match."""
+    qe, re_ = qb + k, rb + k
+    while qb > 0 and rb > 0 and query[qb - 1] == ref[rb - 1]:
+        qb -= 1
+        rb -= 1
+    while qe < len(query) and re_ < len(ref) and query[qe] == ref[re_]:
+        qe += 1
+        re_ += 1
+    return Seed(qb, qe, rb)

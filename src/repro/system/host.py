@@ -1,0 +1,100 @@
+"""Host-CPU side: software kernel timing and the rerun budget.
+
+The host plays two roles in the SeedEx system: it runs the software
+pipeline stages (seeding, SAM output) and it *reruns* the ~2% of
+extensions whose optimality checks failed, using the full-band
+software kernel.  This module measures the real software kernel on
+this machine (Figure 3's curve is produced from these measurements)
+and models the rerun budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align import banded
+from repro.align.scoring import BWA_MEM_SCORING, AffineGap
+from repro.genome.synth import ExtensionJob
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Measured software-kernel performance at one band setting."""
+
+    band: int
+    seconds_per_extension: float
+    cells_per_extension: float
+
+    @property
+    def extensions_per_second(self) -> float:
+        """Measured kernel rate at this band."""
+        return 1.0 / self.seconds_per_extension
+
+
+def time_software_kernel(
+    jobs: list[ExtensionJob],
+    band: int | None,
+    scoring: AffineGap = BWA_MEM_SCORING,
+    repeats: int = 1,
+) -> KernelTiming:
+    """Wall-clock the banded software kernel over a job corpus."""
+    if not jobs:
+        raise ValueError("need at least one job to time")
+    cells = 0
+    start = time.perf_counter()
+    for _ in range(repeats):
+        cells = 0
+        for job in jobs:
+            res = banded.extend(job.query, job.target, scoring, job.h0, w=band)
+            cells += res.cells_computed
+    elapsed = time.perf_counter() - start
+    n = len(jobs) * repeats
+    effective_band = band if band is not None else -1
+    return KernelTiming(
+        band=effective_band,
+        seconds_per_extension=elapsed / n,
+        cells_per_extension=cells / len(jobs),
+    )
+
+
+@dataclass(frozen=True)
+class RerunBudget:
+    """Host-side cost of the failed-check reruns.
+
+    The paper overlaps reruns with FPGA batches and reports negligible
+    overhead; this model quantifies when that holds: the host keeps up
+    as long as rerun demand (failed fraction x full-band kernel time)
+    stays under the thread budget reserved for it.
+    """
+
+    rerun_fraction: float
+    host_threads: int
+    full_band_seconds_per_extension: float
+    fpga_throughput_ext_per_s: float
+
+    @property
+    def rerun_demand_ext_per_s(self) -> float:
+        """Rerun work arriving from the accelerator."""
+        return self.rerun_fraction * self.fpga_throughput_ext_per_s
+
+    @property
+    def host_capacity_ext_per_s(self) -> float:
+        """Full-band extensions the host can absorb."""
+        return self.host_threads / self.full_band_seconds_per_extension
+
+    @property
+    def host_keeps_up(self) -> bool:
+        """True when reruns fully overlap with FPGA batches."""
+        return self.host_capacity_ext_per_s >= self.rerun_demand_ext_per_s
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Extra wall time when the host cannot fully overlap."""
+        if self.host_keeps_up:
+            return 0.0
+        return (
+            self.rerun_demand_ext_per_s / self.host_capacity_ext_per_s - 1.0
+        )

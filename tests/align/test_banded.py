@@ -1,0 +1,203 @@
+"""Tests for the production banded kernel against the dense oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import banded
+from repro.align.banded import boundary_length, extend, full_band_for
+from repro.align.fullmatrix import fill_extension
+from repro.align.scoring import BWA_MEM_SCORING, AffineGap
+from repro.genome.sequence import encode, random_sequence
+from tests.helpers import related_pair
+
+SEQ = st.lists(st.integers(0, 3), min_size=1, max_size=12).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+def oracle_scores(q, t, scoring, h0):
+    m = fill_extension(q, t, scoring, h0)
+    return (m.lscore, m.lpos, m.gscore, m.gpos)
+
+
+class TestFullBandEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(q=SEQ, t=SEQ, h0=st.integers(1, 30))
+    def test_matches_oracle(self, q, t, h0):
+        res = extend(q, t, BWA_MEM_SCORING, h0)
+        assert res.scores() == oracle_scores(q, t, BWA_MEM_SCORING, h0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        q=SEQ,
+        t=SEQ,
+        h0=st.integers(1, 30),
+        go=st.integers(0, 6),
+        ge=st.integers(0, 3),
+    )
+    def test_matches_oracle_other_schemes(self, q, t, h0, go, ge):
+        scoring = AffineGap(match=2, mismatch=3, gap_open=go, gap_extend=ge)
+        res = extend(q, t, scoring, h0)
+        assert res.scores() == oracle_scores(q, t, scoring, h0)
+
+    def test_max_off_matches_oracle(self):
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            q, t = related_pair(rng, 20, extra_target=5, subs=2, ins=1, dels=1)
+            res = extend(q, t, BWA_MEM_SCORING, 25)
+            oracle = fill_extension(q, t, BWA_MEM_SCORING, 25)
+            assert res.max_off == oracle.max_off
+
+
+class TestPruning:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        q=SEQ,
+        t=SEQ,
+        h0=st.integers(1, 30),
+        w=st.integers(1, 15),
+    )
+    def test_pruning_is_lossless(self, q, t, h0, w):
+        pruned = extend(q, t, BWA_MEM_SCORING, h0, w=w, prune=True)
+        plain = extend(q, t, BWA_MEM_SCORING, h0, w=w, prune=False)
+        assert pruned.scores() == plain.scores()
+        assert (pruned.boundary_e == plain.boundary_e).all()
+
+    def test_pruning_saves_work_on_dead_inputs(self):
+        rng = np.random.default_rng(3)
+        q = random_sequence(40, rng)
+        t = random_sequence(60, rng)
+        # Weak seed against an unrelated target dies quickly.
+        pruned = extend(q, t, BWA_MEM_SCORING, 5, prune=True)
+        plain = extend(q, t, BWA_MEM_SCORING, 5, prune=False)
+        assert pruned.cells_computed < plain.cells_computed
+        assert pruned.terminated_early
+
+    def test_relaxed_scoring_f_carry(self):
+        # Zero-cost insertions make F gaps run forever; the carry path
+        # must still match the unpruned run.
+        scoring = AffineGap(
+            match=1, mismatch=1, gap_open=0, gap_extend=1, gap_extend_ins=0
+        )
+        rng = np.random.default_rng(11)
+        for _ in range(30):
+            q, t = related_pair(rng, 12, extra_target=4, subs=2, dels=1)
+            a = extend(q, t, scoring, 8, prune=True)
+            b = extend(q, t, scoring, 8, prune=False)
+            assert a.scores() == b.scores()
+
+
+class TestBandSemantics:
+    def test_band_monotone_in_scores(self):
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            q, t = related_pair(rng, 25, extra_target=8, subs=2, ins=2, dels=2)
+            prev_l, prev_g = -1, -1
+            for w in (1, 3, 6, 12, 40):
+                res = extend(q, t, BWA_MEM_SCORING, 30, w=w)
+                assert res.lscore >= prev_l
+                assert res.gscore >= prev_g
+                prev_l, prev_g = res.lscore, res.gscore
+
+    def test_full_band_for_covers_matrix(self):
+        q = encode("ACGTACGT")
+        t = encode("ACGT")
+        res = extend(q, t, BWA_MEM_SCORING, 10, w=full_band_for(8, 4))
+        assert res.is_full_band
+
+    def test_narrow_band_misses_distant_alignment(self):
+        # Query aligns only after an 8-char deletion; w=2 cannot see it.
+        q = encode("ACGTACGTAC")
+        t = encode("GGGGGGGG" + "ACGTACGTAC")
+        narrow = extend(q, t, BWA_MEM_SCORING, 30, w=2)
+        full = extend(q, t, BWA_MEM_SCORING, 30)
+        assert full.gscore > narrow.gscore
+
+    def test_rejects_negative_band(self):
+        q = encode("ACGT")
+        with pytest.raises(ValueError):
+            extend(q, q, BWA_MEM_SCORING, 10, w=-1)
+
+    def test_rejects_negative_h0(self):
+        q = encode("ACGT")
+        with pytest.raises(ValueError):
+            extend(q, q, BWA_MEM_SCORING, -5)
+
+
+class TestBoundaryE:
+    def test_boundary_length_geometry(self):
+        assert boundary_length(10, 20, 5) == min(10, 20 - 6) + 1
+        assert boundary_length(10, 5, 5) == 0
+        assert boundary_length(10, 6, 5) == 1
+        assert boundary_length(3, 100, 5) == 4
+
+    @settings(max_examples=150, deadline=None)
+    @given(q=SEQ, t=SEQ, h0=st.integers(1, 30), w=st.integers(1, 8))
+    def test_boundary_e_matches_oracle_e_channel(self, q, t, h0, w):
+        """boundary_e[j] must equal the oracle E value at region cell
+        (j+w+1, j) computed from a *band-masked* DP.
+
+        We verify against the dense oracle restricted to the band by
+        checking the formula on the banded kernel's own H/E rows via an
+        unpruned small reference: recompute with the oracle and mask.
+        """
+        res = extend(q, t, BWA_MEM_SCORING, h0, w=w)
+        n = boundary_length(len(q), len(t), w)
+        assert res.boundary_e.shape == (n,)
+        if n == 0:
+            return
+        # Reference: dense DP where out-of-band cells are forced dead.
+        ref = _banded_dense_e(q, t, BWA_MEM_SCORING, h0, w)
+        for j in range(n):
+            assert res.boundary_e[j] == ref[j]
+
+
+def _banded_dense_e(q, t, scoring, h0, w):
+    """Dense re-implementation of the banded DP, reporting boundary E."""
+    qlen, tlen = len(q), len(t)
+    go, ge_i, ge_d = (
+        scoring.gap_open,
+        scoring.gap_extend_ins,
+        scoring.gap_extend_del,
+    )
+    h = np.zeros((tlen + 1, qlen + 1), dtype=np.int64)
+    e = np.zeros((tlen + 1, qlen + 1), dtype=np.int64)
+    f = np.zeros((tlen + 1, qlen + 1), dtype=np.int64)
+    h[0][0] = h0
+    for j in range(1, min(qlen, w) + 1):
+        f[0][j] = max(0, h0 - go - j * ge_i)
+        h[0][j] = f[0][j]
+    for i in range(1, tlen + 1):
+        if i <= w:
+            e[i][0] = max(0, h0 - go - i * ge_d)
+            h[i][0] = e[i][0]
+        for j in range(max(1, i - w), min(qlen, i + w) + 1):
+            diag = 0
+            if h[i - 1][j - 1] > 0 and abs(i - 1 - (j - 1)) <= w:
+                diag = h[i - 1][j - 1] + scoring.substitution(
+                    int(t[i - 1]), int(q[j - 1])
+                )
+            e[i][j] = max(0, max(h[i - 1][j] - go, e[i - 1][j]) - ge_d)
+            if abs(i - 1 - j) > w:
+                e[i][j] = 0
+            f[i][j] = max(0, max(h[i][j - 1] - go, f[i][j - 1]) - ge_i)
+            if abs(i - (j - 1)) > w:
+                f[i][j] = 0
+            h[i][j] = max(diag, e[i][j], f[i][j], 0)
+    n = boundary_length(qlen, tlen, w)
+    out = np.zeros(n, dtype=np.int64)
+    for j in range(n):
+        i = j + w  # band lower-edge row feeding region cell (j+w+1, j)
+        out[j] = max(0, max(h[i][j] - go, e[i][j]) - ge_d)
+    return out
+
+
+class TestAccounting:
+    def test_cells_scale_with_band(self):
+        rng = np.random.default_rng(9)
+        q, t = related_pair(rng, 60, extra_target=20, subs=3)
+        narrow = extend(q, t, BWA_MEM_SCORING, 60, w=5, prune=False)
+        wide = extend(q, t, BWA_MEM_SCORING, 60, w=30, prune=False)
+        assert wide.cells_computed > 2 * narrow.cells_computed

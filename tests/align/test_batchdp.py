@@ -1,0 +1,122 @@
+"""Bit-equivalence tests for the batched lockstep kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import banded
+from repro.align.batchdp import extend_batch
+from repro.align.scoring import BWA_MEM_SCORING, AffineGap
+from repro.genome.synth import extension_corpus
+
+SEQ = st.lists(st.integers(0, 3), min_size=1, max_size=14).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+BATCH = st.lists(
+    st.tuples(SEQ, SEQ, st.integers(1, 30)), min_size=1, max_size=8
+)
+
+
+def _assert_equal(batch_results, queries, targets, h0s, w):
+    for k, res in enumerate(batch_results):
+        ref = banded.extend(
+            queries[k], targets[k], BWA_MEM_SCORING, h0s[k], w=w
+        )
+        assert res.scores() == ref.scores(), f"job {k}"
+        assert (res.boundary_e == ref.boundary_e).all(), f"job {k}"
+        assert (res.boundary_f == ref.boundary_f).all(), f"job {k}"
+        assert res.max_off == ref.max_off, f"job {k}"
+
+
+class TestEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(batch=BATCH, w=st.integers(1, 10))
+    def test_ragged_batches_match_scalar(self, batch, w):
+        queries = [q for q, _, _ in batch]
+        targets = [t for _, t, _ in batch]
+        h0s = [h for _, _, h in batch]
+        results = extend_batch(queries, targets, h0s, BWA_MEM_SCORING, w=w)
+        _assert_equal(results, queries, targets, h0s, w)
+
+    @settings(max_examples=50, deadline=None)
+    @given(batch=BATCH)
+    def test_full_band(self, batch):
+        queries = [q for q, _, _ in batch]
+        targets = [t for _, t, _ in batch]
+        h0s = [h for _, _, h in batch]
+        results = extend_batch(queries, targets, h0s, BWA_MEM_SCORING)
+        _assert_equal(results, queries, targets, h0s, None)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        batch=BATCH,
+        w=st.integers(1, 8),
+        go=st.integers(0, 6),
+        ge=st.integers(1, 3),
+    )
+    def test_other_schemes(self, batch, w, go, ge):
+        scoring = AffineGap(match=2, mismatch=3, gap_open=go, gap_extend=ge)
+        queries = [q for q, _, _ in batch]
+        targets = [t for _, t, _ in batch]
+        h0s = [h for _, _, h in batch]
+        results = extend_batch(queries, targets, h0s, scoring, w=w)
+        for k, res in enumerate(results):
+            ref = banded.extend(queries[k], targets[k], scoring, h0s[k], w=w)
+            assert res.scores() == ref.scores()
+
+    def test_corpus_batch(self):
+        rng = np.random.default_rng(0)
+        jobs = extension_corpus(
+            60, rng, query_length=50, reference_length=40_000,
+            vary_query_length=True,
+        )
+        results = extend_batch(
+            [j.query for j in jobs],
+            [j.target for j in jobs],
+            [j.h0 for j in jobs],
+            BWA_MEM_SCORING,
+            w=9,
+        )
+        _assert_equal(
+            results,
+            [j.query for j in jobs],
+            [j.target for j in jobs],
+            [j.h0 for j in jobs],
+            9,
+        )
+
+
+class TestValidation:
+    def test_empty_batch(self):
+        assert extend_batch([], [], [], BWA_MEM_SCORING) == []
+
+    def test_mismatched_lengths_rejected(self):
+        q = np.zeros(4, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            extend_batch([q], [q, q], [5, 5], BWA_MEM_SCORING)
+
+    def test_negative_h0_rejected(self):
+        q = np.zeros(4, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            extend_batch([q], [q], [-1], BWA_MEM_SCORING)
+
+
+class TestExtenderIntegration:
+    def test_extend_many_matches_extend_batch(self):
+        from repro.core.extender import SeedExtender
+
+        rng = np.random.default_rng(4)
+        jobs = extension_corpus(
+            40, rng, query_length=60, reference_length=40_000
+        )
+        triples = [(j.query, j.target, j.h0) for j in jobs]
+        a = SeedExtender(band=8)
+        b = SeedExtender(band=8)
+        fast = a.extend_many(triples)
+        slow = b.extend_batch(triples)
+        for fa, sl in zip(fast, slow):
+            assert fa.result.scores() == sl.result.scores()
+            assert fa.rerun == sl.rerun
+            assert fa.decision.outcome == sl.decision.outcome
+        assert a.stats.by_outcome == b.stats.by_outcome

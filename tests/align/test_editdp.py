@@ -1,0 +1,125 @@
+"""Tests for the edit-distance kernels and the left-entry DP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.editdp import (
+    left_entry_scores,
+    left_entry_scores_reference,
+    levenshtein,
+)
+from repro.align.scoring import BWA_MEM_SCORING
+from repro.genome.sequence import encode
+
+SEQ = st.lists(st.integers(0, 3), min_size=0, max_size=10).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+NONEMPTY = st.lists(st.integers(0, 3), min_size=1, max_size=12).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+def naive_levenshtein(a, b):
+    prev = list(range(len(b) + 1))
+    for i in range(1, len(a) + 1):
+        cur = [i] + [0] * len(b)
+        for j in range(1, len(b) + 1):
+            cur[j] = min(
+                prev[j] + 1,
+                cur[j - 1] + 1,
+                prev[j - 1] + (a[i - 1] != b[j - 1]),
+            )
+        prev = cur
+    return prev[-1]
+
+
+class TestLevenshtein:
+    def test_known_values(self):
+        assert levenshtein(encode("ACGT"), encode("ACGT")) == 0
+        assert levenshtein(encode("ACGT"), encode("AGGT")) == 1
+        assert levenshtein(encode("ACGT"), encode("AC")) == 2
+        assert levenshtein(encode(""), encode("ACGT")) == 4
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=SEQ, b=SEQ)
+    def test_matches_naive(self, a, b):
+        assert levenshtein(a, b) == naive_levenshtein(list(a), list(b))
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=SEQ, b=SEQ)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+
+class TestLeftEntry:
+    def test_empty_half_matrix(self):
+        q = encode("ACGT")
+        t = encode("AC")
+        res = left_entry_scores(q, t, band=5, left_seed=10)
+        assert res.last_column.size == 0
+        assert res.best == 0
+
+    def test_rejects_costly_insertions(self):
+        q = encode("ACGT")
+        t = encode("ACGTACGT")
+        with pytest.raises(ValueError):
+            left_entry_scores(q, t, 1, 10, scoring=BWA_MEM_SCORING)
+
+    def test_seed_propagates_free_insertions(self):
+        # With zero-cost insertions the corner seed reaches the last
+        # column of its own row untouched.
+        q = encode("ACGT")
+        t = encode("TTTTTTTT")
+        res = left_entry_scores(
+            q, t, band=2, left_seed=lambda i: 9 if i == 3 else 0
+        )
+        assert res.last_column[0] == 9
+        assert res.best >= 9
+
+    def test_distant_repeat_recovers_matches(self):
+        # Target repeats the query after a long deletion; the DP must
+        # pick the matches up on the shifted diagonal.
+        q = encode("ACGTAC")
+        t = encode("GGGG" + "ACGTAC")
+        res = left_entry_scores(q, t, band=1, left_seed=20)
+        assert res.best >= 20 + len(q) - 2  # seed + most of the matches
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        q=NONEMPTY,
+        t=NONEMPTY,
+        band=st.integers(0, 6),
+        seed=st.integers(0, 25),
+    )
+    def test_fast_matches_reference(self, q, t, band, seed):
+        fast = left_entry_scores(q, t, band, seed)
+        ref = left_entry_scores_reference(q, t, band, seed)
+        assert (fast.last_column == ref.last_column).all()
+        assert fast.best == ref.best
+
+    @settings(max_examples=80, deadline=None)
+    @given(q=NONEMPTY, t=NONEMPTY, band=st.integers(0, 4))
+    def test_callable_seed_matches_reference(self, q, t, band):
+        def seed(i):
+            return max(0, 15 - i)
+
+        fast = left_entry_scores(q, t, band, seed)
+        ref = left_entry_scores_reference(q, t, band, seed)
+        assert (fast.last_column == ref.last_column).all()
+
+    def test_monotone_in_seed(self):
+        q = encode("ACGTACGTAC")
+        t = encode("TTTTTACGTACGTAC")
+        lo = left_entry_scores(q, t, 2, 5)
+        hi = left_entry_scores(q, t, 2, 15)
+        assert hi.best >= lo.best
+        assert (hi.last_column >= lo.last_column).all()
+
+    def test_dead_seed_dead_region(self):
+        q = encode("ACGTACGT")
+        t = encode("ACGTACGTACGT")
+        res = left_entry_scores(q, t, 2, 0)
+        assert res.best == 0
+        assert (res.last_column == 0).all()

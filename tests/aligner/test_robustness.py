@@ -1,0 +1,105 @@
+"""Robustness: ambiguous bases, degenerate reads, adversarial repeats."""
+
+import numpy as np
+import pytest
+
+from repro.aligner.engines import FullBandEngine, SeedExEngine
+from repro.aligner.pipeline import Aligner
+from repro.genome.sam import diff_records
+from repro.genome.sequence import AMBIGUOUS_CODE, decode, encode
+from repro.genome.synth import synthesize_reference
+
+
+@pytest.fixture(scope="module")
+def reference():
+    rng = np.random.default_rng(99)
+    return synthesize_reference(25_000, rng)
+
+
+class TestAmbiguousBases:
+    def test_read_with_n_bases_still_aligns(self, reference):
+        aligner = Aligner(reference, FullBandEngine(), seeding="kmer")
+        read = reference[5000:5101].copy()
+        read[50] = AMBIGUOUS_CODE
+        read[51] = AMBIGUOUS_CODE
+        rec = aligner.align_read(read, "n-read")
+        assert not rec.is_unmapped
+        assert rec.pos == 5000
+        assert "N" in rec.seq
+
+    def test_n_never_matches_in_scoring(self):
+        from repro.align import banded
+        from repro.align.scoring import BWA_MEM_SCORING
+
+        q = encode("ACGNACGT")
+        t = encode("ACGTACGT")
+        res = banded.extend(q, t, BWA_MEM_SCORING, 20)
+        # 7 matches, 1 forced mismatch at the N.
+        assert res.gscore == 20 + 7 - 4
+
+    def test_seedex_handles_n_reads_identically(self, reference):
+        full = Aligner(reference, FullBandEngine(), seeding="kmer")
+        seedex = Aligner(reference, SeedExEngine(band=9), seeding="kmer")
+        reads = []
+        rng = np.random.default_rng(3)
+        for k in range(10):
+            pos = int(rng.integers(0, len(reference) - 101))
+            read = reference[pos : pos + 101].copy()
+            sites = rng.choice(101, size=3, replace=False)
+            read[sites] = AMBIGUOUS_CODE
+            reads.append((f"n{k}", read))
+        a = [full.align_read(c, n) for n, c in reads]
+        b = [seedex.align_read(c, n) for n, c in reads]
+        assert diff_records(a, b) == 0
+
+
+class TestDegenerateReads:
+    def test_homopolymer_read(self, reference):
+        aligner = Aligner(reference, FullBandEngine(), seeding="kmer")
+        rec = aligner.align_read(encode("A" * 101), "polyA")
+        # Either unmapped or some low-confidence placement; never crash.
+        assert rec.qname == "polyA"
+
+    def test_very_short_read(self, reference):
+        aligner = Aligner(reference, FullBandEngine(), seeding="kmer")
+        rec = aligner.align_read(reference[100:125].copy(), "short")
+        if not rec.is_unmapped:
+            assert rec.pos >= 0
+
+    def test_read_overhanging_reference_end(self, reference):
+        aligner = Aligner(reference, FullBandEngine(), seeding="kmer")
+        read = np.concatenate(
+            [reference[-80:], encode("ACGTACGTACGTACGTACGTA")]
+        ).astype(np.uint8)
+        rec = aligner.align_read(read, "overhang")
+        assert rec.qname == "overhang"  # must not crash at the edge
+
+
+class TestAdversarialRepeats:
+    def test_tandem_repeat_region(self):
+        rng = np.random.default_rng(5)
+        unit = rng.integers(0, 4, size=50).astype(np.uint8)
+        reference = np.concatenate(
+            [rng.integers(0, 4, size=2000).astype(np.uint8)]
+            + [unit] * 20
+            + [rng.integers(0, 4, size=2000).astype(np.uint8)]
+        ).astype(np.uint8)
+        full = Aligner(reference, FullBandEngine(), seeding="kmer")
+        seedex = Aligner(reference, SeedExEngine(band=7), seeding="kmer")
+        # A read spanning repeat copies: positions are ambiguous but
+        # both engines must make the same deterministic call.
+        read = reference[2025:2126].copy()
+        a = full.align_read(read, "rep")
+        b = seedex.align_read(read, "rep")
+        assert a.to_line() == b.to_line()
+
+    def test_structural_corpus_generator_shape(self):
+        from repro.genome.synth import structural_corpus
+
+        rng = np.random.default_rng(7)
+        jobs = structural_corpus(50, rng)
+        assert len(jobs) == 50
+        for job in jobs:
+            assert 1 <= len(job.query) <= 101
+            assert len(job.target) >= len(job.query)
+            assert job.h0 >= 19

@@ -1,0 +1,113 @@
+"""Property tests for the DTW/LCS SeedEx-style checks (Sec VII-D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.dtw import (
+    banded_dtw,
+    dtw_optimality_check,
+    dtw_with_guarantee,
+    full_dtw,
+)
+from repro.apps.lcs import (
+    banded_lcs,
+    full_lcs,
+    lcs_optimality_check,
+    lcs_with_guarantee,
+)
+
+SIGNAL = st.lists(
+    st.floats(-5, 5, allow_nan=False), min_size=2, max_size=18
+).map(np.array)
+STRING = st.lists(st.integers(0, 3), min_size=1, max_size=18).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+class TestDtw:
+    @settings(max_examples=150, deadline=None)
+    @given(x=SIGNAL, y=SIGNAL, band=st.integers(0, 8))
+    def test_guarantee_theorem(self, x, y, band):
+        """The check's central property: accepted => optimal."""
+        if band < abs(len(x) - len(y)):
+            return
+        result = dtw_with_guarantee(x, y, band)
+        assert result.cost == pytest.approx(full_dtw(x, y))
+
+    @settings(max_examples=80, deadline=None)
+    @given(x=SIGNAL, y=SIGNAL, band=st.integers(0, 8))
+    def test_check_admissibility(self, x, y, band):
+        """The outside bound never exceeds a real outside path cost —
+        when it accepts, the banded cost equals the full cost."""
+        if band < abs(len(x) - len(y)):
+            return
+        cost_nb, upper, lower = banded_dtw(x, y, band)
+        check = dtw_optimality_check(x, y, band, cost_nb, upper, lower)
+        if check.optimal:
+            assert cost_nb == pytest.approx(full_dtw(x, y))
+
+    def test_identical_signals_pass_with_tiny_band(self):
+        x = np.sin(np.linspace(0, 6, 60))
+        result = dtw_with_guarantee(x, x, band=1)
+        assert result.cost == 0
+        assert result.optimal_by_check
+        assert not result.rerun
+
+    def test_time_shifted_signal_forces_rerun_or_passes(self):
+        t = np.linspace(0, 6, 60)
+        x = np.sin(t)
+        y = np.sin(t - 1.5)  # warped by ~15 samples
+        narrow = dtw_with_guarantee(x, y, band=2)
+        assert narrow.cost == pytest.approx(full_dtw(x, y))
+
+    def test_band_narrower_than_length_gap_rejected(self):
+        with pytest.raises(ValueError):
+            banded_dtw(np.ones(10), np.ones(3), band=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            banded_dtw(np.ones(0), np.ones(3), band=5)
+
+
+class TestLcs:
+    @settings(max_examples=150, deadline=None)
+    @given(a=STRING, b=STRING, band=st.integers(0, 8))
+    def test_guarantee_theorem(self, a, b, band):
+        result = lcs_with_guarantee(a, b, band)
+        assert result.length == full_lcs(a, b)
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=STRING, b=STRING, band=st.integers(0, 8))
+    def test_check_admissibility(self, a, b, band):
+        length, edges = banded_lcs(a, b, band)
+        check = lcs_optimality_check(len(a), len(b), length, edges)
+        if check.optimal:
+            assert length == full_lcs(a, b)
+
+    def test_full_lcs_known_values(self):
+        a = np.array([0, 1, 2, 3, 0, 1], dtype=np.uint8)
+        b = np.array([1, 2, 0, 3, 1], dtype=np.uint8)
+        assert full_lcs(a, b) == 4  # e.g. 1,2,3,1
+
+    def test_identical_strings(self):
+        a = np.array([0, 1, 2, 3] * 5, dtype=np.uint8)
+        result = lcs_with_guarantee(a, a.copy(), band=0)
+        assert result.length == len(a)
+        assert result.optimal_by_check
+
+    def test_shifted_repeat_needs_wide_band(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 4, size=30).astype(np.uint8)
+        b = np.concatenate(
+            [rng.integers(0, 4, size=12), a]
+        ).astype(np.uint8)
+        narrow = lcs_with_guarantee(a, b, band=2)
+        assert narrow.length == full_lcs(a, b)
+        assert narrow.rerun  # the check correctly refused the band
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            banded_lcs(np.ones(3, dtype=np.uint8),
+                       np.ones(3, dtype=np.uint8), band=-1)

@@ -1,0 +1,18 @@
+"""Test-suite configuration.
+
+Hypothesis runs derandomized so the suite is exactly reproducible —
+the property tests' value here is regression detection, and the
+example corpora already cover the failure modes we know about; a
+flaky seed would only add noise.  Deadlines are disabled because the
+DP oracles are deliberately slow.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

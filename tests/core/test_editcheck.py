@@ -1,0 +1,114 @@
+"""Admissibility and unit tests for the edit-distance check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import banded
+from repro.align.scoring import BWA_MEM_SCORING, AffineGap
+from repro.core.editcheck import edit_check, exact_left_seeds
+from repro.core.escore import NO_THREAT
+from repro.core.thresholds import semiglobal_thresholds
+from repro.genome.sequence import encode
+from tests.helpers import enumerate_paths
+
+TINY = st.lists(st.integers(0, 3), min_size=1, max_size=6).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+def _thresholds(q, t, w, h0):
+    return semiglobal_thresholds(BWA_MEM_SCORING, len(q), len(t), w, h0)
+
+
+class TestAdmissibility:
+    @settings(max_examples=120, deadline=None)
+    @given(q=TINY, t=TINY, h0=st.integers(1, 20), w=st.integers(0, 4))
+    def test_bounds_left_entering_paths(self, q, t, h0, w):
+        """Every path whose first band departure is the column-0 dive
+        must score at most score_ed (both seeding variants)."""
+        res = banded.extend(q, t, BWA_MEM_SCORING, h0, w=w)
+        th = _thresholds(q, t, w, h0)
+        for exact in (False, True):
+            ed = edit_check(
+                q, t, res, BWA_MEM_SCORING, th.s1, exact_left_seed=exact
+            )
+            for rec in enumerate_paths(q, t, BWA_MEM_SCORING, h0, w):
+                if rec.first_departure is None:
+                    continue
+                side, col = rec.first_departure
+                if side == "down" and col == 0:
+                    assert rec.score <= ed.score_ed
+
+    @settings(max_examples=60, deadline=None)
+    @given(q=TINY, t=TINY, h0=st.integers(1, 20), w=st.integers(0, 4))
+    def test_exact_seed_is_tighter(self, q, t, h0, w):
+        res = banded.extend(q, t, BWA_MEM_SCORING, h0, w=w)
+        th = _thresholds(q, t, w, h0)
+        loose = edit_check(q, t, res, BWA_MEM_SCORING, th.s1)
+        tight = edit_check(
+            q, t, res, BWA_MEM_SCORING, th.s1, exact_left_seed=True
+        )
+        assert tight.score_ed <= loose.score_ed
+
+
+class TestUnits:
+    def test_exact_left_seeds_formula(self):
+        seed = exact_left_seeds(30, BWA_MEM_SCORING)
+        assert seed(0) == 24
+        assert seed(5) == 30 - 6 - 5
+        assert seed(100) == 0
+
+    def test_no_region_no_threat(self):
+        q = encode("ACGTACGT")
+        t = encode("ACG")
+        res = banded.extend(q, t, BWA_MEM_SCORING, 10, w=8)
+        ed = edit_check(q, t, res, BWA_MEM_SCORING, s1=None)
+        assert ed.score_ed == NO_THREAT
+
+    def test_corner_seed_fires_once(self):
+        from repro.core.editcheck import corner_seed
+
+        seed = corner_seed(17, band=5)
+        assert seed(6) == 17
+        assert seed(7) == 0
+        assert seed(5) == 0
+
+    def test_dead_half_matrix_no_threat(self):
+        # Negative S1 seeds nothing; the bound must be NO_THREAT, not 0,
+        # so that a score_nb of 0 is never "beaten" by a phantom path.
+        q = encode("ACGTACGT")
+        t = encode("ACGTACGTACGTACGT")
+        res = banded.extend(q, t, BWA_MEM_SCORING, 2, w=2)
+        ed = edit_check(q, t, res, BWA_MEM_SCORING, s1=-5)
+        assert ed.score_ed == NO_THREAT
+
+    def test_non_dominating_scheme_rejected(self):
+        q = encode("ACGTACGT")
+        t = encode("ACGTACGTACGTACGT")
+        res = banded.extend(q, t, BWA_MEM_SCORING, 10, w=2)
+        with pytest.raises(ValueError):
+            edit_check(
+                q,
+                t,
+                res,
+                BWA_MEM_SCORING,
+                s1=10,
+                region_scoring=AffineGap(
+                    match=1, mismatch=9, gap_open=0, gap_extend=0
+                ),
+            )
+
+    def test_distant_repeat_is_a_real_threat(self):
+        # The query reappears after a long deletion: a left-entering
+        # path genuinely beats the narrow band, and score_ed must not
+        # pass a score below that path's value.
+        q = encode("ACGTACGTAC")
+        t = encode("GGGGGGGG" + "ACGTACGTAC")
+        res = banded.extend(q, t, BWA_MEM_SCORING, 30, w=2)
+        th = _thresholds(q, t, 2, 30)
+        ed = edit_check(q, t, res, BWA_MEM_SCORING, th.s1)
+        full = banded.extend(q, t, BWA_MEM_SCORING, 30)
+        assert full.gscore > res.gscore
+        assert ed.score_ed >= full.gscore

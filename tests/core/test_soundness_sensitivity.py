@@ -1,0 +1,127 @@
+"""Mutation tests: the theorem harness must catch unsound checkers.
+
+A property test that never fails could be vacuous.  These tests
+deliberately break each bound and verify a counterexample exists —
+i.e., the central theorem genuinely depends on every check being
+admissible, and our corpora genuinely exercise the failure modes.
+"""
+
+import numpy as np
+
+from repro.align import banded
+from repro.align.scoring import BWA_MEM_SCORING
+from repro.core.checker import CheckDecision, CheckOutcome, OptimalityChecker
+from repro.core.thresholds import Thresholds
+from repro.genome.sequence import random_sequence
+from tests.helpers import mutate
+
+
+class LaxS2Checker(OptimalityChecker):
+    """Unsound: relaxes S2, accepting scores the threshold should send
+    to further checks."""
+
+    def __init__(self, scoring, slack: int) -> None:
+        super().__init__(scoring)
+        self.slack = slack
+
+    def thresholds_for(self, result):
+        th = super().thresholds_for(result)
+        s2 = None if th.s2 is None else th.s2 - self.slack
+        return Thresholds(s1=th.s1, s2=s2)
+
+
+class SkipChecksChecker(OptimalityChecker):
+    """Unsound: treats every case-c input as passing."""
+
+    def check(self, query, target, result):
+        decision = super().check(query, target, result)
+        if decision.outcome in (
+            CheckOutcome.FAIL_ESCORE,
+            CheckOutcome.FAIL_EDIT,
+        ):
+            return CheckDecision(
+                CheckOutcome.PASS_CHECKS,
+                decision.score_nb,
+                decision.thresholds,
+                decision.score_max_e,
+                decision.score_ed,
+            )
+        return decision
+
+
+def _adversarial_case_c(rng, w=6, h0=25):
+    """An input where the narrow band is genuinely suboptimal *and*
+    the score lands in case c.
+
+    ``query = A ++ homopolymer``; the target interposes 8 junk bases
+    before the homopolymer, the last two crafted so that a band-6
+    6-deletion alignment survives with exactly one mismatch
+    (p_in = 17, inside the case-c window) while the true optimum — an
+    8-deletion, outside the band — pays only p_out = 14.  A sound
+    checker must send this to rerun; any checker that accepts it
+    returns the wrong score.
+    """
+    prefix = random_sequence(20, rng)
+    homo = np.zeros(10, dtype=np.uint8)  # 'A' * 10
+    query = np.concatenate([prefix, homo]).astype(np.uint8)
+    junk = (random_sequence(6, rng) % 3) + 1  # never 'A'
+    bridge = np.array([1, 0], dtype=np.uint8)  # one mismatch, one 'A'
+    target = np.concatenate(
+        [prefix, junk, bridge, homo]
+    ).astype(np.uint8)
+    return query, target, h0, w
+
+
+def _violates(checker, query, target, h0, w):
+    narrow = banded.extend(query, target, BWA_MEM_SCORING, h0, w=w)
+    decision = checker.check(query, target, narrow)
+    if not decision.passed:
+        return False
+    full = banded.extend(query, target, BWA_MEM_SCORING, h0)
+    return narrow.scores() != full.scores()
+
+
+class TestHarnessSensitivity:
+    def _trials(self, checker, n=50):
+        rng = np.random.default_rng(0)
+        return sum(
+            _violates(checker, *_adversarial_case_c(rng))
+            for _ in range(n)
+        )
+
+    def test_adversarial_input_has_the_advertised_shape(self):
+        rng = np.random.default_rng(1)
+        q, t, h0, w = _adversarial_case_c(rng)
+        narrow = banded.extend(q, t, BWA_MEM_SCORING, h0, w=w)
+        full = banded.extend(q, t, BWA_MEM_SCORING, h0)
+        assert full.gscore > narrow.gscore  # band genuinely too small
+        checker = OptimalityChecker(BWA_MEM_SCORING)
+        decision = checker.check(q, t, narrow)
+        th = decision.thresholds
+        assert th.s1 < narrow.gscore <= th.s2  # lands in case c
+        assert not decision.passed  # the sound checker refuses it
+
+    def test_sound_checker_never_violates(self):
+        assert self._trials(OptimalityChecker(BWA_MEM_SCORING)) == 0
+
+    def test_lax_s2_is_caught(self):
+        """Shaving a few points off S2 must produce wrong accepts."""
+        assert self._trials(LaxS2Checker(BWA_MEM_SCORING, slack=6)) > 0
+
+    def test_skipping_case_c_checks_is_caught(self):
+        """Accepting every case-c input must produce wrong accepts —
+        i.e., the E-score/edit checks reject real threats, not noise."""
+        assert self._trials(SkipChecksChecker(BWA_MEM_SCORING)) > 0
+
+    def test_random_inputs_never_violate_sound_checker(self):
+        rng = np.random.default_rng(2)
+        checker = OptimalityChecker(BWA_MEM_SCORING)
+        for _ in range(500):
+            q = random_sequence(int(rng.integers(2, 30)), rng)
+            t = mutate(q, rng, subs=2, ins=1, dels=1)
+            if len(t) == 0:
+                t = q.copy()
+            assert not _violates(
+                checker, q, t, int(rng.integers(1, 35)),
+                int(rng.integers(1, 8)),
+            )

@@ -1,0 +1,148 @@
+"""Threshold formula tests plus brute-force admissibility proofs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.scoring import BWA_MEM_SCORING
+from repro.core.thresholds import (
+    Thresholds,
+    global_thresholds,
+    semiglobal_thresholds,
+)
+from tests.helpers import enumerate_paths
+
+TINY = st.lists(st.integers(0, 3), min_size=1, max_size=6).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+class TestFormulas:
+    def test_paper_example_values(self):
+        # S1 = h0 - (go + w*ge) + (N - w)*m ; S2 adds w*m more matches.
+        th = semiglobal_thresholds(BWA_MEM_SCORING, 101, 120, 41, 30)
+        assert th.s1 == 30 - (6 + 41) + 60
+        assert th.s2 == 30 - (6 + 41) + 101
+
+    def test_s2_minus_s1_is_band_matches(self):
+        th = semiglobal_thresholds(BWA_MEM_SCORING, 80, 100, 10, 25)
+        assert th.s2 - th.s1 == 10 * BWA_MEM_SCORING.match
+
+    def test_regions_disappear_with_wide_band(self):
+        th = semiglobal_thresholds(BWA_MEM_SCORING, 10, 10, 12, 20)
+        assert th.s1 is None
+        assert th.s2 is None
+
+    def test_only_below_region(self):
+        th = semiglobal_thresholds(BWA_MEM_SCORING, 10, 30, 12, 20)
+        assert th.s1 is None
+        assert th.s2 is not None
+
+
+class TestClassify:
+    def test_three_cases(self):
+        th = Thresholds(s1=10, s2=20)
+        assert th.classify(5) == "fail"
+        assert th.classify(10) == "fail"
+        assert th.classify(15) == "between"
+        assert th.classify(20) == "between"
+        assert th.classify(21) == "pass"
+
+    def test_no_regions_always_passes(self):
+        th = Thresholds(s1=None, s2=None)
+        assert th.classify(-100) == "pass"
+
+    def test_missing_s1(self):
+        th = Thresholds(s1=None, s2=20)
+        assert th.classify(5) == "between"
+        assert th.classify(25) == "pass"
+
+    def test_global_s2_below_s1_still_sound(self):
+        # classify must treat the "fail" test first so orderings where
+        # s2 < s1 (possible in global mode) stay sound.
+        th = Thresholds(s1=15, s2=10)
+        assert th.classify(12) == "fail"
+        assert th.classify(16) == "pass"
+
+
+class TestSemiGlobalAdmissibility:
+    """S1/S2 must upper-bound the final score of every band-leaving
+    path, verified by exhaustive path enumeration on tiny inputs."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(q=TINY, t=TINY, h0=st.integers(1, 20), w=st.integers(0, 4))
+    def test_bounds_hold(self, q, t, h0, w):
+        th = semiglobal_thresholds(BWA_MEM_SCORING, len(q), len(t), w, h0)
+        for rec in enumerate_paths(q, t, BWA_MEM_SCORING, h0, w):
+            if rec.first_departure is None:
+                continue
+            side = rec.first_departure[0]
+            if side == "up":
+                assert th.s1 is not None and rec.score <= th.s1
+            else:
+                assert th.s2 is not None and rec.score <= th.s2
+
+
+class TestGlobalAdmissibility:
+    """Global thresholds must bound band-leaving paths that reach the
+    global endpoint (tlen, qlen)."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(q=TINY, t=TINY, h0=st.integers(5, 25), w=st.integers(0, 4))
+    def test_bounds_hold(self, q, t, h0, w):
+        if abs(len(t) - len(q)) > w:
+            return
+        th = global_thresholds(BWA_MEM_SCORING, len(q), len(t), w, h0)
+        # Global paths may dip negative; disable the dead-at-zero rule.
+        for rec in enumerate_paths(
+            q, t, BWA_MEM_SCORING, h0, w, dead_at_zero=False
+        ):
+            if rec.first_departure is None:
+                continue
+            if rec.i != len(t) or rec.j != len(q):
+                continue
+            side = rec.first_departure[0]
+            if side == "up":
+                assert th.s1 is not None and rec.score <= th.s1
+            else:
+                assert th.s2 is not None and rec.score <= th.s2
+
+    def test_endpoint_outside_band_rejected(self):
+        with pytest.raises(ValueError):
+            global_thresholds(BWA_MEM_SCORING, 4, 10, 3, 0)
+
+    def test_paper_doubling_formula_is_not_admissible(self):
+        """Documented deviation: the paper's 2go/2ge substitution can
+        undercut a real outside path when the endpoint diagonal hugs
+        the band edge; our corrected formula must still bound it."""
+        q = np.array([0, 1, 2, 3, 0, 1], dtype=np.uint8)
+        w = 4
+        # Target = query plus w extra leading chars: d0 = w.
+        t = np.concatenate(
+            [np.full(w, 3, dtype=np.uint8), q]
+        ).astype(np.uint8)
+        h0 = 20
+        th = global_thresholds(BWA_MEM_SCORING, len(q), len(t), w, h0)
+        s = BWA_MEM_SCORING
+        paper_s2 = (
+            h0
+            - 2 * (s.gap_open + w * s.gap_extend)
+            + len(q) * s.match
+        )
+        best_outside = max(
+            (
+                rec.score
+                for rec in enumerate_paths(
+                    q, t, s, h0, w, dead_at_zero=False
+                )
+                if rec.first_departure is not None
+                and rec.i == len(t)
+                and rec.j == len(q)
+                and rec.first_departure[0] == "down"
+            ),
+            default=None,
+        )
+        assert best_outside is not None
+        assert best_outside > paper_s2  # the paper formula undercuts
+        assert best_outside <= th.s2  # ours does not

@@ -1,0 +1,122 @@
+"""Tests for FASTA/FASTQ parsing and SAM records."""
+
+import io
+
+import pytest
+
+from repro.genome.io_fasta import (
+    FastaRecord,
+    FastqRecord,
+    parse_fasta,
+    parse_fastq,
+    write_fasta,
+    write_fastq,
+)
+from repro.genome.sam import SamRecord, diff_records, write_sam
+
+
+class TestFasta:
+    def test_roundtrip_multiline(self):
+        records = [
+            FastaRecord("chr1", "ACGT" * 50),
+            FastaRecord("chr2", "TTTT"),
+        ]
+        buf = io.StringIO()
+        write_fasta(buf, records, width=60)
+        buf.seek(0)
+        assert list(parse_fasta(buf)) == records
+
+    def test_header_takes_first_token(self):
+        buf = io.StringIO(">chr1 description here\nACGT\n")
+        (rec,) = parse_fasta(buf)
+        assert rec.name == "chr1"
+
+    def test_sequence_before_header_rejected(self):
+        with pytest.raises(ValueError):
+            list(parse_fasta(io.StringIO("ACGT\n>x\nAC\n")))
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(ValueError):
+            list(parse_fasta(io.StringIO(">\nACGT\n")))
+
+    def test_blank_lines_skipped(self):
+        buf = io.StringIO(">a\nAC\n\nGT\n")
+        (rec,) = parse_fasta(buf)
+        assert rec.sequence == "ACGT"
+
+
+class TestFastq:
+    def test_roundtrip(self):
+        records = [
+            FastqRecord("r1", "ACGT", "IIII"),
+            FastqRecord("r2", "TT", "##"),
+        ]
+        buf = io.StringIO()
+        write_fastq(buf, records)
+        buf.seek(0)
+        assert list(parse_fastq(buf)) == records
+
+    def test_quality_length_enforced(self):
+        with pytest.raises(ValueError):
+            FastqRecord("r", "ACGT", "II")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            list(parse_fastq(io.StringIO("r1\nACGT\n+\nIIII\n")))
+
+    def test_bad_separator_rejected(self):
+        with pytest.raises(ValueError):
+            list(parse_fastq(io.StringIO("@r1\nACGT\nIIII\nIIII\n")))
+
+
+class TestSam:
+    def _record(self, **kw):
+        base = dict(
+            qname="r1",
+            flag=0,
+            rname="chr1",
+            pos=99,
+            mapq=60,
+            cigar="101M",
+            seq="A" * 101,
+        )
+        base.update(kw)
+        return SamRecord(**base)
+
+    def test_line_is_one_based(self):
+        line = self._record().to_line()
+        assert line.split("\t")[3] == "100"
+
+    def test_line_roundtrip(self):
+        rec = self._record(tags=("AS:i:95",))
+        assert SamRecord.from_line(rec.to_line()) == rec
+
+    def test_unmapped(self):
+        rec = SamRecord.unmapped("r2", "ACGT")
+        assert rec.is_unmapped
+        fields = rec.to_line().split("\t")
+        assert fields[2] == "*"
+        assert fields[5] == "*"
+
+    def test_mapq_range_enforced(self):
+        with pytest.raises(ValueError):
+            self._record(mapq=300)
+
+    def test_write_sam_header(self):
+        buf = io.StringIO()
+        write_sam(buf, [self._record()], "chr1", 1000)
+        lines = buf.getvalue().splitlines()
+        assert lines[0].startswith("@HD")
+        assert "SN:chr1" in lines[1]
+        assert "LN:1000" in lines[1]
+        assert len(lines) == 4
+
+    def test_diff_records(self):
+        a = [self._record(), self._record(qname="r2")]
+        b = [self._record(), self._record(qname="r2", pos=100)]
+        assert diff_records(a, a) == 0
+        assert diff_records(a, b) == 1
+
+    def test_diff_records_length_mismatch(self):
+        with pytest.raises(ValueError):
+            diff_records([self._record()], [])

@@ -1,0 +1,169 @@
+"""Shared test utilities: generators and a brute-force path oracle.
+
+The brute-force enumerator walks every monotone path of a small DP
+matrix and scores it with exact affine-gap accounting.  It is the
+independent ground truth used to validate both the DP kernels and the
+admissibility of every SeedEx bound: kernels and checks are only
+trusted because they agree with this enumeration on small inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.scoring import AffineGap
+
+
+def mutate(
+    seq: np.ndarray,
+    rng: np.random.Generator,
+    subs: int = 0,
+    ins: int = 0,
+    dels: int = 0,
+) -> np.ndarray:
+    """Apply random substitutions/insertions/deletions to a sequence."""
+    out = list(int(b) for b in seq)
+    for _ in range(subs):
+        if not out:
+            break
+        pos = int(rng.integers(0, len(out)))
+        out[pos] = int(rng.integers(0, 4))
+    for _ in range(dels):
+        if not out:
+            break
+        pos = int(rng.integers(0, len(out)))
+        del out[pos]
+    for _ in range(ins):
+        pos = int(rng.integers(0, len(out) + 1))
+        out.insert(pos, int(rng.integers(0, 4)))
+    return np.array(out, dtype=np.uint8)
+
+
+def related_pair(
+    rng: np.random.Generator,
+    qlen: int,
+    extra_target: int = 0,
+    subs: int = 1,
+    ins: int = 0,
+    dels: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A (query, target) pair where target is a mutated copy of query."""
+    from repro.genome.sequence import random_sequence
+
+    query = random_sequence(qlen, rng)
+    target = mutate(query, rng, subs=subs, ins=ins, dels=dels)
+    if extra_target:
+        target = np.concatenate(
+            [target, random_sequence(extra_target, rng)]
+        ).astype(np.uint8)
+    if len(target) == 0:
+        target = random_sequence(1, rng)
+    return query, target
+
+
+@dataclass
+class PathRecord:
+    """One monotone path prefix: endpoint, score, and band excursion."""
+
+    i: int
+    j: int
+    score: int
+    min_diag: int
+    max_diag: int
+    first_departure: tuple[str, int] | None
+    """('up'|'down', column) of the first step outside band ``w`` —
+    filled by the caller-supplied band; None when never outside."""
+
+
+def enumerate_paths(
+    query: np.ndarray,
+    target: np.ndarray,
+    scoring: AffineGap,
+    h0: int,
+    band: int,
+    dead_at_zero: bool = True,
+) -> list[PathRecord]:
+    """Enumerate every alive monotone path prefix from the origin.
+
+    Returns a record per (path, endpoint) visit.  ``min_diag``/
+    ``max_diag`` track the excursion of ``i - j``; ``first_departure``
+    reports how the path first left the band of half-width ``band``.
+    Exponential — callers must keep ``len(query) * len(target)`` tiny.
+    """
+    qlen = len(query)
+    tlen = len(target)
+    out: list[PathRecord] = []
+
+    def step(i, j, score, gap_state, min_d, max_d, first_dep):
+        out.append(PathRecord(i, j, score, min_d, max_d, first_dep))
+        # Diagonal.
+        if i < tlen and j < qlen:
+            s = score + scoring.substitution(int(target[i]), int(query[j]))
+            if not dead_at_zero or s > 0:
+                d = (i + 1) - (j + 1)
+                dep = first_dep
+                step(i + 1, j + 1, s, None, min(min_d, d), max(max_d, d), dep)
+        # Vertical (deletion: consumes target).
+        if i < tlen:
+            cost = scoring.gap_extend_del
+            if gap_state != "del":
+                cost += scoring.gap_open
+            s = score - cost
+            if not dead_at_zero or s > 0:
+                d = (i + 1) - j
+                dep = first_dep
+                if dep is None and d > band:
+                    dep = ("down", j)
+                step(i + 1, j, s, "del", min(min_d, d), max(max_d, d), dep)
+        # Horizontal (insertion: consumes query).
+        if j < qlen:
+            cost = scoring.gap_extend_ins
+            if gap_state != "ins":
+                cost += scoring.gap_open
+            s = score - cost
+            if not dead_at_zero or s > 0:
+                d = i - (j + 1)
+                dep = first_dep
+                if dep is None and d < -band:
+                    dep = ("up", j + 1)
+                step(i, j + 1, s, "ins", min(min_d, d), max(max_d, d), dep)
+
+    step(0, 0, h0, None, 0, 0, None)
+    return out
+
+
+def brute_cell_scores(
+    query: np.ndarray,
+    target: np.ndarray,
+    scoring: AffineGap,
+    h0: int,
+) -> np.ndarray:
+    """Best alive-path score per cell, by exhaustive enumeration."""
+    qlen = len(query)
+    tlen = len(target)
+    best = np.zeros((tlen + 1, qlen + 1), dtype=np.int64)
+    for rec in enumerate_paths(
+        query, target, scoring, h0, band=max(qlen, tlen)
+    ):
+        if rec.score > best[rec.i][rec.j]:
+            best[rec.i][rec.j] = rec.score
+    return best
+
+
+def brute_band_demand(
+    query: np.ndarray,
+    target: np.ndarray,
+    scoring: AffineGap,
+    h0: int,
+) -> tuple[int, int]:
+    """(lscore, gscore) over all paths regardless of band; sanity aid."""
+    records = enumerate_paths(
+        query, target, scoring, h0, band=max(len(query), len(target))
+    )
+    lscore = max((r.score for r in records), default=0)
+    gscore = max(
+        (r.score for r in records if r.j == len(query)), default=0
+    )
+    return lscore, gscore

@@ -1,0 +1,124 @@
+"""Calibration tests: the cost models must hit the paper's numbers."""
+
+import pytest
+
+from repro import constants as paper
+from repro.hw import area, timing
+
+
+class TestAreaModel:
+    def test_band_scaling_is_affine_increasing(self):
+        values = [area.bsw_core_luts(w) for w in (5, 20, 41, 80, 101)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+        # Affine: equal increments for equal band steps.
+        d1 = area.bsw_core_luts(21) - area.bsw_core_luts(11)
+        d2 = area.bsw_core_luts(31) - area.bsw_core_luts(21)
+        assert d1 == pytest.approx(d2)
+
+    def test_seedex_core_improvement_is_2_3x(self):
+        ratio = area.full_band_core_luts() / area.seedex_core_luts()
+        assert ratio == pytest.approx(
+            paper.SEEDEX_CORE_LUT_IMPROVEMENT, rel=0.01
+        )
+
+    def test_edit_machine_overhead_is_5_53_percent(self):
+        assert area.edit_machine_overhead() == pytest.approx(
+            paper.EDIT_MACHINE_AREA_OVERHEAD, rel=0.01
+        )
+
+    def test_edit_optimization_ladder(self):
+        base = area.edit_core_luts(41, "baseline")
+        assert base / area.edit_core_luts(41, "reduced-scoring") == (
+            pytest.approx(paper.EDIT_REDUCED_SCORING_FACTOR)
+        )
+        assert base / area.edit_core_luts(41, "delta") == pytest.approx(
+            paper.EDIT_DELTA_ENCODING_FACTOR
+        )
+        assert base / area.edit_core_luts(41, "half-width") == (
+            pytest.approx(paper.EDIT_HALF_WIDTH_FACTOR)
+        )
+
+    def test_unknown_optimization_rejected(self):
+        with pytest.raises(ValueError):
+            area.edit_core_luts(41, "quantum")
+
+    def test_table2_core_percentage(self):
+        model = area.table2_model()
+        published = paper.TABLE2_UTILIZATION["SeedEx: SeedEx Core"]["LUT"]
+        assert model["SeedEx: SeedEx Core"] == pytest.approx(
+            published, rel=0.01
+        )
+
+    def test_breakdown_sums_to_parts(self):
+        b = area.seedex_fpga_breakdown()
+        total = sum(b.as_dict().values())
+        assert b.bsw_cores / total > 0.3  # compute dominates
+
+    def test_asic_totals_match_table3(self):
+        a, p = area.asic_seedex_totals()
+        assert a == pytest.approx(
+            paper.TABLE3_SEEDEX_TOTAL["area_mm2"], rel=0.05
+        )
+        sys_a, sys_p = area.asic_system_totals()
+        assert sys_a == pytest.approx(
+            paper.TABLE3_TOTAL["area_mm2"], rel=0.05
+        )
+
+    def test_band_rejected_below_one(self):
+        with pytest.raises(ValueError):
+            area.bsw_core_luts(0)
+
+
+class TestTimingModel:
+    def test_device_throughput_is_43_9M(self):
+        assert timing.fpga_throughput() == pytest.approx(
+            paper.SEEDEX_THROUGHPUT_EXT_PER_S, rel=0.01
+        )
+
+    def test_iso_area_speedup_is_6x(self):
+        assert timing.iso_area_speedup() == pytest.approx(
+            paper.ISO_AREA_THROUGHPUT_SPEEDUP, rel=0.01
+        )
+
+    def test_latency_improvement_is_1_9x(self):
+        assert timing.latency_improvement() == pytest.approx(
+            paper.SEEDEX_LATENCY_IMPROVEMENT, rel=0.01
+        )
+
+    def test_initiation_interval_increases_with_band(self):
+        assert timing.initiation_interval_cycles(
+            101
+        ) > timing.initiation_interval_cycles(41)
+
+    def test_compute_latency_near_100_cycles(self):
+        """Section V-A: ~100-cycle compute hides the 40-cycle AXI."""
+        ii = timing.initiation_interval_cycles(paper.DEFAULT_BAND)
+        assert 80 < ii < 130
+        assert ii > paper.AXI_READ_LATENCY_CYCLES
+
+    def test_band_rejected_below_one(self):
+        with pytest.raises(ValueError):
+            timing.initiation_interval_cycles(0)
+
+    def test_throughput_scales_linearly_with_cores(self):
+        one = timing.fpga_throughput(n_bsw_cores=12)
+        three = timing.fpga_throughput(n_bsw_cores=36)
+        assert three == pytest.approx(3 * one)
+
+    def test_figure18_ordering(self):
+        bars = {c.name: c for c in timing.figure18_comparators()}
+        seedex = bars["ERT+SeedEx"]
+        sillax = bars["ERT+Sillax"]
+        genax = bars["GenAx"]
+        assert seedex.kernel_kexts_per_s_per_mm2 == pytest.approx(
+            20 * sillax.kernel_kexts_per_s_per_mm2
+        )
+        assert (
+            seedex.app_kreads_per_s_per_mm2
+            > sillax.app_kreads_per_s_per_mm2
+            > genax.app_kreads_per_s_per_mm2
+        )
+        # Energy: SeedEx beats both; GenAx beats Sillax (2.11x < 2.45x).
+        assert seedex.energy_kreads_per_j > genax.energy_kreads_per_j
+        assert seedex.energy_kreads_per_j > sillax.energy_kreads_per_j
+        assert genax.energy_kreads_per_j > sillax.energy_kreads_per_j

@@ -1,0 +1,79 @@
+"""Validation of the delta-encoded edit machine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.editdp import left_entry_scores
+from repro.align.scoring import BWA_MEM_SCORING
+from repro.core.editcheck import exact_left_seeds
+from repro.genome.sequence import random_sequence
+from repro.hw.edit_machine import EditMachine
+from tests.helpers import mutate
+
+SEQ = st.lists(st.integers(0, 3), min_size=2, max_size=16).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+class TestDecodedEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        q=SEQ,
+        t=SEQ,
+        band=st.integers(1, 6),
+        seed_val=st.integers(0, 30),
+    )
+    def test_constant_seed_matches_software(self, q, t, band, seed_val):
+        """3-bit residues must decode to the full-width DP exactly."""
+        run = EditMachine(band).run(q, t, seed_val)
+        sw = left_entry_scores(q, t, band, seed_val)
+        assert run.scores.best == sw.best
+        assert (run.scores.last_column == sw.last_column).all()
+
+    @settings(max_examples=100, deadline=None)
+    @given(q=SEQ, t=SEQ, band=st.integers(1, 6), h0=st.integers(1, 35))
+    def test_exact_seeds_match_software(self, q, t, band, h0):
+        seed = exact_left_seeds(h0, BWA_MEM_SCORING)
+        run = EditMachine(band).run(q, t, seed)
+        sw = left_entry_scores(q, t, band, seed)
+        assert run.scores.best == sw.best
+        assert (run.scores.last_column == sw.last_column).all()
+
+    def test_realistic_corpus_never_violates_delta_range(self):
+        """The relaxed scoring was co-designed to fit the 3-bit circle;
+        no realistic input may trigger DeltaRangeError."""
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            q = random_sequence(int(rng.integers(5, 30)), rng)
+            t = mutate(q, rng, subs=2, ins=1, dels=2)
+            t = np.concatenate(
+                [t, random_sequence(int(rng.integers(0, 20)), rng)]
+            ).astype(np.uint8)
+            if len(t) == 0:
+                t = q.copy()
+            seed = exact_left_seeds(int(rng.integers(1, 40)),
+                                    BWA_MEM_SCORING)
+            EditMachine(int(rng.integers(1, 8))).run(q, t, seed)
+
+
+class TestConstruction:
+    def test_rejects_costly_insertions(self):
+        with pytest.raises(ValueError):
+            EditMachine(3, scoring=BWA_MEM_SCORING)
+
+    def test_rejects_bad_band(self):
+        with pytest.raises(ValueError):
+            EditMachine(0)
+
+    def test_half_width_pe_count(self):
+        em = EditMachine(4)
+        assert em.pe_count(100) == 51  # half the full-width array
+
+    def test_empty_half_matrix(self):
+        em = EditMachine(10)
+        q = random_sequence(5, np.random.default_rng(0))
+        run = em.run(q, q, 7)
+        assert run.scores.best == 0
+        assert run.cells_computed == 0

@@ -1,0 +1,95 @@
+"""Validation of the cycle-level systolic array model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import banded
+from repro.align.scoring import BWA_MEM_SCORING
+from repro.genome.sequence import encode, random_sequence
+from repro.hw.systolic import SystolicBSW
+from tests.helpers import mutate
+
+SEQ = st.lists(st.integers(0, 3), min_size=2, max_size=18).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+class TestFunctionalEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(q=SEQ, t=SEQ, h0=st.integers(1, 30), w=st.integers(1, 8))
+    def test_matches_software_kernel_or_flags_exception(
+        self, q, t, h0, w
+    ):
+        """The hardware contract: bit-equal scores, or exception."""
+        run = SystolicBSW(w, BWA_MEM_SCORING).run(q, t, h0)
+        if run.exception:
+            return
+        sw = banded.extend(q, t, BWA_MEM_SCORING, h0, w=w)
+        assert run.result.scores() == sw.scores()
+        assert (run.result.boundary_e == sw.boundary_e).all()
+
+    def test_without_speculation_always_matches(self):
+        rng = np.random.default_rng(2)
+        for _ in range(60):
+            q = random_sequence(int(rng.integers(2, 20)), rng)
+            t = mutate(q, rng, subs=2, ins=1, dels=1)
+            if len(t) == 0:
+                t = q.copy()
+            arr = SystolicBSW(5, BWA_MEM_SCORING,
+                              speculative_termination=False)
+            run = arr.run(q, t, 15)
+            sw = banded.extend(q, t, BWA_MEM_SCORING, 15, w=5)
+            assert not run.exception
+            assert run.result.scores() == sw.scores()
+
+    def test_exceptions_are_rare_on_real_workloads(self):
+        rng = np.random.default_rng(3)
+        exceptions = 0
+        for _ in range(150):
+            q = random_sequence(30, rng)
+            t = mutate(q, rng, subs=1, dels=1)
+            t = np.concatenate(
+                [t, random_sequence(8, rng)]
+            ).astype(np.uint8)
+            run = SystolicBSW(6, BWA_MEM_SCORING).run(q, t, 25)
+            exceptions += run.exception
+        assert exceptions < 15  # well under 10%
+
+
+class TestTelemetry:
+    def test_cycle_count_scales_with_wavefronts(self):
+        q = encode("ACGTACGTACGTACGT")
+        run = SystolicBSW(4, BWA_MEM_SCORING).run(q, q, 20)
+        # fill + one cycle per anti-diagonal + drain.
+        assert run.cycles <= len(q) * 2 + 2 * (4 + 1) + 2
+        assert run.cycles >= len(q)
+
+    def test_utilization_bounded(self):
+        q = encode("ACGTACGTAC")
+        run = SystolicBSW(3, BWA_MEM_SCORING).run(q, q, 20)
+        assert 0.0 < run.utilization <= 1.0
+
+    def test_pe_count(self):
+        assert SystolicBSW(41, BWA_MEM_SCORING).pe_count == 42
+
+    def test_rejects_bad_band(self):
+        with pytest.raises(ValueError):
+            SystolicBSW(0, BWA_MEM_SCORING)
+
+    def test_rejects_negative_h0(self):
+        arr = SystolicBSW(3, BWA_MEM_SCORING)
+        q = encode("ACGT")
+        with pytest.raises(ValueError):
+            arr.run(q, q, -1)
+
+    def test_early_termination_reduces_cells(self):
+        rng = np.random.default_rng(4)
+        q = random_sequence(30, rng)
+        t = random_sequence(40, rng)  # unrelated: dies fast
+        spec = SystolicBSW(8, BWA_MEM_SCORING).run(q, t, 5)
+        plain = SystolicBSW(
+            8, BWA_MEM_SCORING, speculative_termination=False
+        ).run(q, t, 5)
+        assert spec.cells_computed <= plain.cells_computed

@@ -1,0 +1,89 @@
+"""Tests for the FM-index against naive string search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genome.sequence import encode, random_sequence
+from repro.seeding.fmindex import FMIndex, Interval
+
+SEQ = st.lists(st.integers(0, 3), min_size=1, max_size=50).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+def naive_find(text, pattern):
+    m = len(pattern)
+    return [
+        i
+        for i in range(len(text) - m + 1)
+        if (text[i : i + m] == pattern).all()
+    ]
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FMIndex(np.zeros(0, dtype=np.uint8))
+
+    def test_rejects_ambiguous(self):
+        with pytest.raises(ValueError):
+            FMIndex(encode("ACGN"))
+
+    def test_rejects_bad_sample_rate(self):
+        with pytest.raises(ValueError):
+            FMIndex(encode("ACGT"), sa_sample_rate=0)
+
+
+class TestSearch:
+    @settings(max_examples=150, deadline=None)
+    @given(text=SEQ, data=st.data())
+    def test_count_and_find(self, text, data):
+        fm = FMIndex(text, sa_sample_rate=3)
+        m = data.draw(st.integers(1, min(8, len(text))))
+        start = data.draw(st.integers(0, len(text) - m))
+        pat = text[start : start + m]
+        expect = naive_find(text, pat)
+        assert fm.count(pat) == len(expect)
+        assert fm.find(pat) == expect
+
+    @settings(max_examples=80, deadline=None)
+    @given(text=SEQ, pat=SEQ)
+    def test_random_patterns(self, text, pat):
+        fm = FMIndex(text)
+        pat = pat[:6]
+        assert fm.count(pat) == len(naive_find(text, pat))
+
+    def test_backward_extend_narrows(self):
+        text = encode("ACGTACGTAC")
+        fm = FMIndex(text)
+        iv = fm.whole()
+        iv = fm.backward_extend(iv, 1)  # 'C'
+        assert iv.width == 3
+        iv = fm.backward_extend(iv, 0)  # 'AC'
+        assert iv.width == 3
+        iv = fm.backward_extend(iv, 3)  # 'TAC'
+        assert iv.width == 2
+
+    def test_backward_extend_rejects_bad_symbol(self):
+        fm = FMIndex(encode("ACGT"))
+        with pytest.raises(ValueError):
+            fm.backward_extend(fm.whole(), 4)
+
+    def test_locate_limit(self):
+        fm = FMIndex(encode("AAAAAAAA"))
+        iv = fm.interval(encode("AA"))
+        assert len(fm.locate(iv, limit=3)) == 3
+
+    def test_interval_dataclass(self):
+        assert Interval(2, 5).width == 3
+        assert Interval(4, 4).is_empty
+
+    def test_every_sample_rate_agrees(self):
+        rng = np.random.default_rng(1)
+        text = random_sequence(300, rng)
+        pat = text[37:49]
+        expected = naive_find(text, pat)
+        for rate in (1, 2, 7, 32):
+            assert FMIndex(text, sa_sample_rate=rate).find(pat) == expected

@@ -1,0 +1,117 @@
+"""Tests for the k-mer index and seed chaining."""
+
+import numpy as np
+import pytest
+
+from repro.genome.sequence import encode, random_sequence
+from repro.seeding.chaining import Chain, chain_seeds, filter_chains
+from repro.seeding.kmer_index import KmerIndex
+from repro.seeding.mems import Seed
+
+
+class TestKmerIndex:
+    def test_lookup_exact(self):
+        rng = np.random.default_rng(0)
+        ref = random_sequence(3000, rng)
+        idx = KmerIndex(ref, k=19)
+        kmer = ref[500:519]
+        hits = idx.lookup(kmer)
+        assert 500 in hits
+        for h in hits:
+            assert (ref[h : h + 19] == kmer).all()
+
+    def test_lookup_rejects_wrong_length(self):
+        idx = KmerIndex(random_sequence(100, np.random.default_rng(0)), k=10)
+        with pytest.raises(ValueError):
+            idx.lookup(np.zeros(5, dtype=np.uint8))
+
+    def test_bad_k_rejected(self):
+        ref = random_sequence(100, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            KmerIndex(ref, k=0)
+        with pytest.raises(ValueError):
+            KmerIndex(ref, k=32)
+
+    def test_seed_read_extends_to_maximal(self):
+        rng = np.random.default_rng(1)
+        ref = random_sequence(5000, rng)
+        idx = KmerIndex(ref, k=19)
+        read = ref[1000:1100]
+        seeds = idx.seed_read(read)
+        assert any(s.length == 100 and s.rbegin == 1000 for s in seeds)
+
+    def test_seed_read_with_mismatch(self):
+        rng = np.random.default_rng(2)
+        ref = random_sequence(5000, rng)
+        idx = KmerIndex(ref, k=19)
+        read = ref[2000:2100].copy()
+        read[50] = (read[50] + 1) % 4
+        seeds = idx.seed_read(read)
+        # Should find both flanks of the mismatch.
+        assert any(s.qbegin == 0 and s.qend == 50 for s in seeds)
+        assert any(s.qbegin == 51 and s.qend == 100 for s in seeds)
+
+    def test_agrees_with_smem_backend_on_clean_read(self):
+        from repro.seeding.fmindex import FMIndex
+        from repro.seeding.mems import seed_read
+
+        rng = np.random.default_rng(3)
+        ref = random_sequence(4000, rng)
+        read = ref[800:900]
+        kmer_seeds = KmerIndex(ref, k=19).seed_read(read)
+        fm_seeds = seed_read(FMIndex(ref), read)
+        full = Seed(0, 100, 800)
+        assert full in kmer_seeds
+        assert full in fm_seeds
+
+
+class TestChaining:
+    def test_empty(self):
+        assert chain_seeds([]) == []
+
+    def test_colinear_seeds_chain(self):
+        seeds = [Seed(0, 30, 100), Seed(40, 80, 145)]
+        chains = chain_seeds(seeds)
+        assert len(chains) == 1
+        assert len(chains[0].seeds) == 2
+        assert chains[0].anchor == Seed(40, 80, 145)
+
+    def test_far_seeds_do_not_chain(self):
+        seeds = [Seed(0, 30, 100), Seed(40, 80, 5000)]
+        chains = chain_seeds(seeds)
+        assert len(chains) == 2
+
+    def test_overlapping_seeds_do_not_chain(self):
+        seeds = [Seed(0, 50, 100), Seed(30, 80, 130)]
+        chains = chain_seeds(seeds)
+        assert len(chains) == 2
+
+    def test_chain_order_by_score(self):
+        seeds = [
+            Seed(0, 60, 100),  # strong
+            Seed(0, 25, 9000),  # weak alternative
+        ]
+        chains = chain_seeds(seeds)
+        assert chains[0].anchor.rbegin == 100
+
+    def test_filter_chains(self):
+        chains = [
+            Chain(seeds=[Seed(0, 60, 0)], score=60),
+            Chain(seeds=[Seed(0, 40, 0)], score=40),
+            Chain(seeds=[Seed(0, 10, 0)], score=10),
+        ]
+        kept = filter_chains(chains, max_chains=3, min_score_fraction=0.5)
+        assert [c.score for c in kept] == [60, 40]
+
+    def test_filter_respects_max(self):
+        chains = [
+            Chain(seeds=[Seed(0, 50, i)], score=50) for i in range(10)
+        ]
+        assert len(filter_chains(chains, max_chains=4)) == 4
+
+    def test_chain_properties(self):
+        c = Chain(seeds=[Seed(5, 30, 105), Seed(40, 90, 141)], score=75)
+        assert c.qbegin == 5
+        assert c.qend == 90
+        assert c.rbegin == 105
+        assert c.diagonal == 101

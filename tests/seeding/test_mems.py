@@ -1,0 +1,98 @@
+"""Tests for SMEM seeding."""
+
+import numpy as np
+
+from repro.genome.sequence import encode, random_sequence
+from repro.seeding.fmindex import FMIndex
+from repro.seeding.mems import Seed, find_smems, place_seeds, seed_read
+
+
+class TestSeedGeometry:
+    def test_diagonal(self):
+        s = Seed(qbegin=5, qend=25, rbegin=105)
+        assert s.length == 20
+        assert s.diagonal == 100
+
+
+class TestSmems:
+    def test_exact_read_gives_one_full_smem(self):
+        rng = np.random.default_rng(0)
+        ref = random_sequence(2000, rng)
+        fm = FMIndex(ref)
+        read = ref[300:360]
+        mems = find_smems(fm, read, min_seed_length=19)
+        assert len(mems) == 1
+        assert (mems[0].qbegin, mems[0].qend) == (0, 60)
+
+    def test_mismatch_splits_smems(self):
+        rng = np.random.default_rng(1)
+        ref = random_sequence(5000, rng)
+        fm = FMIndex(ref)
+        read = ref[1000:1080].copy()
+        read[40] = (read[40] + 1) % 4
+        mems = find_smems(fm, read, min_seed_length=19)
+        # Two halves around the mismatch (possibly spanning it a bit
+        # if the mutated k-mer occurs elsewhere).
+        assert len(mems) >= 2
+        assert any(m.qbegin == 0 for m in mems)
+        assert any(m.qend == 80 for m in mems)
+
+    def test_min_seed_length_filters(self):
+        rng = np.random.default_rng(2)
+        ref = random_sequence(2000, rng)
+        fm = FMIndex(ref)
+        read = random_sequence(40, rng)  # unrelated: only chance hits
+        mems = find_smems(fm, read, min_seed_length=19)
+        for m in mems:
+            assert m.length >= 19
+
+    def test_smems_are_maximal(self):
+        """No reported SMEM may be contained in another."""
+        rng = np.random.default_rng(3)
+        ref = random_sequence(3000, rng)
+        fm = FMIndex(ref)
+        read = ref[500:600].copy()
+        read[30] = (read[30] + 1) % 4
+        read[70] = (read[70] + 2) % 4
+        mems = find_smems(fm, read, min_seed_length=10)
+        for a in mems:
+            for b in mems:
+                if a is b:
+                    continue
+                contained = (
+                    b.qbegin <= a.qbegin and a.qend <= b.qend
+                )
+                assert not contained
+
+    def test_smem_matches_reference_content(self):
+        rng = np.random.default_rng(4)
+        ref = random_sequence(3000, rng)
+        fm = FMIndex(ref)
+        read = ref[700:800].copy()
+        read[50] = (read[50] + 1) % 4
+        seeds = seed_read(fm, read, min_seed_length=15)
+        assert seeds
+        for s in seeds:
+            assert (
+                read[s.qbegin : s.qend]
+                == ref[s.rbegin : s.rbegin + s.length]
+            ).all()
+
+
+class TestPlacement:
+    def test_repetitive_mems_dropped(self):
+        ref = encode("ACGT" * 200)
+        fm = FMIndex(ref)
+        read = encode("ACGT" * 10)
+        mems = find_smems(fm, read, min_seed_length=19)
+        seeds = place_seeds(fm, mems, max_occurrences=8)
+        assert seeds == []  # hundreds of hits: dropped as a repeat
+
+    def test_placement_sorted(self):
+        rng = np.random.default_rng(5)
+        ref = random_sequence(4000, rng)
+        fm = FMIndex(ref)
+        read = ref[100:200].copy()
+        read[33] = (read[33] + 1) % 4
+        seeds = seed_read(fm, read, min_seed_length=12)
+        assert seeds == sorted(seeds, key=lambda s: (s.qbegin, s.rbegin))

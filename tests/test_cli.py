@@ -1,0 +1,164 @@
+"""End-to-end tests of the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.genome.io_fasta import read_fasta, read_fastq
+from repro.genome.sam import SamRecord
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    ref = str(root / "ref.fasta")
+    reads = str(root / "reads.fastq")
+    rc = main(
+        [
+            "simulate",
+            "--length",
+            "20000",
+            "--reads",
+            "25",
+            "--seed",
+            "5",
+            "--out-reference",
+            ref,
+            "--out-reads",
+            reads,
+        ]
+    )
+    assert rc == 0
+    return root, ref, reads
+
+
+class TestSimulate:
+    def test_outputs_parse(self, workload):
+        _, ref, reads = workload
+        (record,) = read_fasta(ref)
+        assert record.name == "chr1"
+        assert len(record.sequence) == 20000
+        fq = read_fastq(reads)
+        assert len(fq) == 25
+        assert all(len(r.sequence) == 101 for r in fq)
+
+    def test_deterministic(self, workload, tmp_path):
+        _, ref, _ = workload
+        ref2 = str(tmp_path / "ref2.fasta")
+        reads2 = str(tmp_path / "reads2.fastq")
+        main(
+            [
+                "simulate",
+                "--length",
+                "20000",
+                "--reads",
+                "25",
+                "--seed",
+                "5",
+                "--out-reference",
+                ref2,
+                "--out-reads",
+                reads2,
+            ]
+        )
+        assert read_fasta(ref)[0] == read_fasta(ref2)[0]
+
+
+class TestAlign:
+    def _sam_records(self, path):
+        with open(path) as handle:
+            return [
+                SamRecord.from_line(line)
+                for line in handle
+                if not line.startswith("@")
+            ]
+
+    def test_align_produces_sam(self, workload):
+        root, ref, reads = workload
+        out = str(root / "out.sam")
+        rc = main(
+            ["align", "--reference", ref, "--reads", reads, "--out", out]
+        )
+        assert rc == 0
+        records = self._sam_records(out)
+        assert len(records) == 25
+        mapped = [r for r in records if not r.is_unmapped]
+        assert len(mapped) >= 23
+
+    def test_seedex_equals_full(self, workload):
+        root, ref, reads = workload
+        out_seedex = str(root / "seedex.sam")
+        out_full = str(root / "full.sam")
+        main(
+            ["align", "--reference", ref, "--reads", reads,
+             "--out", out_seedex, "--engine", "seedex", "--band", "9"]
+        )
+        main(
+            ["align", "--reference", ref, "--reads", reads,
+             "--out", out_full, "--engine", "full"]
+        )
+        assert self._sam_records(out_seedex) == self._sam_records(
+            out_full
+        )
+
+    def test_missing_reference_errors(self, workload, tmp_path):
+        root, _, reads = workload
+        empty = tmp_path / "empty.fasta"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            main(
+                ["align", "--reference", str(empty), "--reads", reads,
+                 "--out", str(tmp_path / "x.sam")]
+            )
+
+
+class TestPaired:
+    def test_paired_roundtrip(self, tmp_path):
+        ref = str(tmp_path / "ref.fasta")
+        reads = str(tmp_path / "pairs.fastq")
+        out = str(tmp_path / "pairs.sam")
+        rc = main(
+            ["simulate", "--length", "20000", "--reads", "10",
+             "--paired", "--seed", "3",
+             "--out-reference", ref, "--out-reads", reads]
+        )
+        assert rc == 0
+        fq = read_fastq(reads)
+        assert len(fq) == 20  # interleaved mates
+        assert fq[0].name.endswith("/1")
+        assert fq[1].name.endswith("/2")
+        rc = main(
+            ["align", "--reference", ref, "--reads", reads,
+             "--out", out, "--paired"]
+        )
+        assert rc == 0
+        with open(out) as handle:
+            records = [
+                SamRecord.from_line(line)
+                for line in handle
+                if not line.startswith("@")
+            ]
+        assert len(records) == 20
+        proper = sum(1 for r in records if r.flag & 0x2)
+        assert proper >= 16
+
+    def test_paired_odd_count_rejected(self, tmp_path, workload):
+        _, ref, reads = workload
+        with pytest.raises(SystemExit):
+            main(
+                ["align", "--reference", ref, "--reads", reads,
+                 "--out", str(tmp_path / "x.sam"), "--paired"]
+            )
+
+
+class TestAnalyze:
+    def test_analyze_runs(self, workload, capsys):
+        _, ref, reads = workload
+        rc = main(
+            ["analyze", "--reference", ref, "--reads", reads,
+             "--band", "41"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overall passing rate" in out
+        assert "band: 41" in out

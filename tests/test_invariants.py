@@ -1,0 +1,104 @@
+"""Cross-module invariants, property-tested.
+
+Each invariant here is relied on by at least one other module; a
+regression anywhere in the DP/seeding substrate shows up as one of
+these failing before the integration tests do.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import banded
+from repro.align.scoring import BWA_MEM_SCORING
+from repro.genome.sequence import random_sequence
+from repro.seeding.chaining import chain_seeds
+from repro.seeding.fmindex import FMIndex
+from repro.seeding.mems import seed_read
+from repro.seeding.suffixarray import build_suffix_array, sa_interval
+
+SEQ = st.lists(st.integers(0, 3), min_size=1, max_size=20).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+class TestExtensionResultInvariants:
+    @settings(max_examples=200, deadline=None)
+    @given(q=SEQ, t=SEQ, h0=st.integers(1, 40), w=st.integers(1, 12))
+    def test_score_relations(self, q, t, h0, w):
+        """lscore >= h0, lscore >= gscore >= 0; positions in range;
+        max_off bounded by the band."""
+        res = banded.extend(q, t, BWA_MEM_SCORING, h0, w=w)
+        assert res.lscore >= h0
+        assert res.lscore >= res.gscore >= 0
+        i, j = res.lpos
+        assert 0 <= i <= len(t) and 0 <= j <= len(q)
+        assert abs(i - j) <= w
+        if res.gpos >= 0:
+            assert abs(res.gpos - len(q)) <= w
+        assert res.max_off <= w
+
+    @settings(max_examples=100, deadline=None)
+    @given(q=SEQ, t=SEQ, h0=st.integers(1, 40))
+    def test_gscore_dead_iff_gpos_missing(self, q, t, h0):
+        res = banded.extend(q, t, BWA_MEM_SCORING, h0)
+        assert (res.gscore == 0) == (res.gpos == -1) or res.gscore > 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(q=SEQ, t=SEQ, h0=st.integers(1, 30), w=st.integers(1, 8))
+    def test_boundary_e_bounded_by_scores(self, q, t, h0, w):
+        """Boundary E values cannot exceed the in-band local best
+        (E <= H everywhere, and the boundary reads in-band state)."""
+        res = banded.extend(q, t, BWA_MEM_SCORING, h0, w=w)
+        for value in res.boundary_e:
+            assert 0 <= value <= res.lscore
+
+
+class TestSeedingInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_fmindex_and_suffix_array_agree(self, data):
+        text = data.draw(
+            st.lists(st.integers(0, 3), min_size=4, max_size=40).map(
+                lambda xs: np.array(xs, dtype=np.uint8)
+            )
+        )
+        fm = FMIndex(text)
+        sa = build_suffix_array(text)
+        m = data.draw(st.integers(1, min(6, len(text))))
+        start = data.draw(st.integers(0, len(text) - m))
+        pat = text[start : start + m]
+        lo, hi = sa_interval(text, sa, pat)
+        assert fm.count(pat) == hi - lo
+        assert fm.find(pat) == sorted(int(sa[k]) for k in range(lo, hi))
+
+    def test_seeds_report_true_matches_and_chains_are_colinear(self):
+        rng = np.random.default_rng(11)
+        ref = random_sequence(4000, rng)
+        fm = FMIndex(ref)
+        read = ref[1200:1300].copy()
+        read[40] = (read[40] + 1) % 4
+        seeds = seed_read(fm, read, min_seed_length=12)
+        assert seeds
+        for s in seeds:
+            assert (
+                read[s.qbegin : s.qend]
+                == ref[s.rbegin : s.rbegin + s.length]
+            ).all()
+        for chain in chain_seeds(seeds):
+            ordered = chain.seeds
+            for a, b in zip(ordered, ordered[1:]):
+                assert a.qend <= b.qbegin
+                assert a.rbegin + a.length <= b.rbegin
+
+
+class TestBandMonotonicity:
+    @settings(max_examples=80, deadline=None)
+    @given(q=SEQ, t=SEQ, h0=st.integers(1, 30), data=st.data())
+    def test_scores_monotone_in_band(self, q, t, h0, data):
+        w1 = data.draw(st.integers(1, 10))
+        w2 = data.draw(st.integers(w1, 14))
+        narrow = banded.extend(q, t, BWA_MEM_SCORING, h0, w=w1)
+        wide = banded.extend(q, t, BWA_MEM_SCORING, h0, w=w2)
+        assert wide.lscore >= narrow.lscore
+        assert wide.gscore >= narrow.gscore
