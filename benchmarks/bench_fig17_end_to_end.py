@@ -27,18 +27,25 @@ from repro.system.scheduler import (
 
 
 def _measure_software_seedex(jobs):
-    """Wall-clock the w=5 software SeedEx against the full-band kernel."""
-    import time
+    """Wall-clock the w=5 software SeedEx against the full-band kernel.
+
+    Timing goes through the span tracer (perf_counter underneath) so
+    the same numbers land in the per-run metrics JSON the benchmark
+    session dumps.
+    """
+    from repro import obs
+    from repro.obs import names
 
     full = time_software_kernel(jobs, band=None)
     ext = SeedExtender(band=5)
-    start = time.perf_counter()
-    for job in jobs:
-        ext.extend(job.query, job.target, job.h0)
-    seedex_time = (time.perf_counter() - start) / len(jobs)
+    obs.enable()
+    with obs.span(names.SPAN_EXTEND_BATCH, jobs=len(jobs)) as sp:
+        for job in jobs:
+            ext.extend(job.query, job.target, job.h0)
+    seedex_time = sp.duration / len(jobs)
     return (
         full.seconds_per_extension / seedex_time,
-        ext.stats.reruns / ext.stats.total,
+        ext.stats.rerun_rate,
     )
 
 

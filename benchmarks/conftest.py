@@ -8,9 +8,12 @@ benchmarks/ --benchmark-only`` run builds each corpus once.
 
 from __future__ import annotations
 
+import pathlib
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.genome.synth import (
     PLATINUM_LIKE,
     ReadSimulator,
@@ -20,6 +23,25 @@ from repro.genome.synth import (
 )
 
 CORPUS_SEED = 20200613  # arbitrary but fixed: results are reproducible
+
+METRICS_DUMP = pathlib.Path(__file__).parent / "metrics_last_run.json"
+"""Per-run registry snapshot, written next to the benchmark output."""
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _observability_session():
+    """Collect metrics/spans for the whole benchmark session.
+
+    The registry snapshot is dumped to :data:`METRICS_DUMP` when the
+    session ends, so every harness run leaves a machine-readable
+    record (stage latencies, cells filled, check outcomes) next to
+    its stdout tables.
+    """
+    obs.reset()
+    obs.enable()
+    yield
+    obs.get_registry().write_json(str(METRICS_DUMP))
+    obs.disable()
 
 
 @pytest.fixture(scope="session")

@@ -18,11 +18,26 @@ from typing import Protocol
 
 import numpy as np
 
+from repro import obs
 from repro.align import banded
 from repro.align.banded import ExtensionResult
 from repro.align.scoring import BWA_MEM_SCORING, AffineGap
 from repro.core.checker import CheckConfig
 from repro.core.extender import SeedExtender
+from repro.obs import names
+from repro.obs.metrics import MetricsRegistry
+
+
+def _account(name: str, cells: int) -> None:
+    """Per-engine counters in the global registry (when enabled)."""
+    if obs.enabled():
+        reg = obs.get_registry()
+        reg.counter(
+            names.ENGINE_EXTENSIONS, "extensions served", engine=name
+        ).inc()
+        reg.counter(
+            names.ENGINE_CELLS, "DP cells filled", engine=name
+        ).inc(cells)
 
 
 class ExtensionEngine(Protocol):
@@ -51,6 +66,7 @@ class FullBandEngine:
         self.extensions += 1
         res = banded.extend(query, target, self.scoring, h0)
         self.cells += res.cells_computed
+        _account(self.name, res.cells_computed)
         return res
 
 
@@ -73,6 +89,7 @@ class PlainBandedEngine:
         self.extensions += 1
         res = banded.extend(query, target, self.scoring, h0, w=self.band)
         self.cells += res.cells_computed
+        _account(self.name, res.cells_computed)
         return res
 
 
@@ -84,10 +101,13 @@ class SeedExEngine:
         band: int = 41,
         scoring: AffineGap = BWA_MEM_SCORING,
         config: CheckConfig | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.name = f"seedex-w{band}"
         self.band = band
-        self._extender = SeedExtender(band=band, scoring=scoring, config=config)
+        self._extender = SeedExtender(
+            band=band, scoring=scoring, config=config, registry=registry
+        )
 
     @property
     def scoring(self) -> AffineGap:
@@ -106,4 +126,6 @@ class SeedExEngine:
 
     def extend(self, query, target, h0):
         """Guaranteed-optimal extension (checks + rerun)."""
-        return self._extender.extend(query, target, h0).result
+        out = self._extender.extend(query, target, h0)
+        _account(self.name, out.narrow_result.cells_computed)
+        return out.result

@@ -22,12 +22,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.align.cigar import Cigar
 from repro.align.fullmatrix import traceback_extension
 from repro.align.scoring import AffineGap
 from repro.aligner.engines import ExtensionEngine, FullBandEngine
 from repro.genome.sam import FLAG_REVERSE, SamRecord
 from repro.genome.sequence import decode, reverse_complement
+from repro.obs import names
 from repro.seeding.chaining import Chain, chain_seeds, filter_chains
 from repro.seeding.fmindex import FMIndex
 from repro.seeding.kmer_index import KmerIndex
@@ -154,18 +156,52 @@ class Aligner:
 
     def align_read(self, codes: np.ndarray, name: str) -> SamRecord:
         """Align one read; always returns a record (possibly unmapped)."""
+        with obs.span(names.SPAN_ALIGNER_READ):
+            return self._align_read(codes, name)
+
+    def _align_read(self, codes: np.ndarray, name: str) -> SamRecord:
         codes = np.asarray(codes, dtype=np.uint8)
         candidates: list[AlignmentCandidate] = []
+        n_seeds = 0
+        n_chains = 0
         for reverse in (False, True):
             query = reverse_complement(codes) if reverse else codes
-            seeds = self._seeds(query)
-            chains = filter_chains(
-                chain_seeds(seeds), max_chains=self.max_chains
-            )
+            with obs.span(names.SPAN_ALIGNER_SEED):
+                seeds = self._seeds(query)
+            with obs.span(names.SPAN_ALIGNER_CHAIN):
+                chains = filter_chains(
+                    chain_seeds(seeds), max_chains=self.max_chains
+                )
+            n_seeds += len(seeds)
+            n_chains += len(chains)
             for chain in chains:
-                cand = self._extend_chain(query, chain, reverse)
+                with obs.span(names.SPAN_ALIGNER_EXTEND):
+                    cand = self._extend_chain(query, chain, reverse)
                 if cand is not None:
                     candidates.append(cand)
+
+        if obs.enabled():
+            reg = obs.get_registry()
+            reg.counter(names.ALIGNER_READS_TOTAL, "reads aligned").inc()
+            reg.counter(names.ALIGNER_SEEDS_TOTAL, "seeds found").inc(
+                n_seeds
+            )
+            reg.counter(names.ALIGNER_CHAINS_KEPT, "chains kept").inc(
+                n_chains
+            )
+            reg.counter(
+                names.ALIGNER_CANDIDATES_TOTAL, "candidates scored"
+            ).inc(len(candidates))
+            reg.histogram(
+                names.ALIGNER_SEEDS_PER_READ, "seeds per read"
+            ).observe(n_seeds)
+            reg.histogram(
+                names.ALIGNER_CHAINS_PER_READ, "chains per read"
+            ).observe(n_chains)
+            if not candidates:
+                reg.counter(
+                    names.ALIGNER_READS_UNMAPPED, "unmapped reads"
+                ).inc()
 
         seq = decode(codes)
         if not candidates:
@@ -175,7 +211,8 @@ class Aligner:
         best = candidates[0]
         runner_up = candidates[1].score if len(candidates) > 1 else 0
         mapq = _mapq(best.score, runner_up)
-        cigar = self._traceback(best)
+        with obs.span(names.SPAN_ALIGNER_TRACEBACK):
+            cigar = self._traceback(best)
         flag = FLAG_REVERSE if best.reverse else 0
         return SamRecord(
             qname=name,

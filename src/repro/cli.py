@@ -6,30 +6,39 @@ Usage::
         --out-reference ref.fasta --out-reads reads.fastq
 
     python -m repro.cli align --reference ref.fasta --reads reads.fastq \
-        --out out.sam --engine seedex --band 41
+        --out out.sam --engine seedex --band 41 \
+        --metrics-out metrics.json --trace-out trace.json
 
     python -m repro.cli analyze --reference ref.fasta --reads reads.fastq
+
+    python -m repro.cli stats metrics.json
 
 The ``align`` command is the end-to-end pipeline with the SeedEx
 engine by default — its output is bit-identical to ``--engine full``
 at any ``--band``.  ``analyze`` reports the check passing rates the
-chosen band would achieve on the given workload.
+chosen band would achieve on the given workload.  Every subcommand
+accepts ``--metrics-out FILE`` (registry snapshot as JSON) and
+``--trace-out FILE`` (Chrome-trace JSON, loadable in Perfetto);
+``stats`` pretty-prints a saved metrics snapshot.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 import numpy as np
 
+from repro import obs
 from repro.aligner.engines import (
     FullBandEngine,
     PlainBandedEngine,
     SeedExEngine,
 )
 from repro.aligner.pipeline import Aligner
+from repro.analysis.report import format_table
 from repro.genome.io_fasta import (
     FastaRecord,
     FastqRecord,
@@ -58,7 +67,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sim = sub.add_parser("simulate", help="generate a synthetic workload")
+    obs_opts = argparse.ArgumentParser(add_help=False)
+    obs_opts.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write a metrics registry snapshot (JSON) on exit",
+    )
+    obs_opts.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a Chrome-trace/Perfetto span timeline (JSON)",
+    )
+
+    sim = sub.add_parser(
+        "simulate",
+        help="generate a synthetic workload",
+        parents=[obs_opts],
+    )
     sim.add_argument("--length", type=int, default=50_000)
     sim.add_argument("--reads", type=int, default=100)
     sim.add_argument("--profile", choices=sorted(PROFILES), default="platinum")
@@ -71,7 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="write an interleaved paired-end FASTQ (FR, insert ~400)",
     )
 
-    aln = sub.add_parser("align", help="align reads to a reference")
+    aln = sub.add_parser(
+        "align", help="align reads to a reference", parents=[obs_opts]
+    )
     aln.add_argument("--reference", required=True)
     aln.add_argument("--reads", required=True)
     aln.add_argument("--out", required=True)
@@ -86,11 +113,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat the FASTQ as interleaved pairs (mate rescue on)",
     )
 
-    ana = sub.add_parser("analyze", help="check passing rates for a band")
+    ana = sub.add_parser(
+        "analyze",
+        help="check passing rates for a band",
+        parents=[obs_opts],
+    )
     ana.add_argument("--reference", required=True)
     ana.add_argument("--reads", required=True)
     ana.add_argument("--band", type=int, default=41)
     ana.add_argument("--seeding", choices=("smem", "kmer"), default="kmer")
+
+    st = sub.add_parser(
+        "stats",
+        help="pretty-print a --metrics-out snapshot",
+        parents=[obs_opts],
+    )
+    st.add_argument(
+        "metrics_file", help="metrics JSON written by --metrics-out"
+    )
     return parser
 
 
@@ -108,8 +148,9 @@ def _load_reference(path: str) -> tuple[str, np.ndarray]:
 
 
 def _make_engine(args: argparse.Namespace):
+    registry = obs.get_registry() if obs.enabled() else None
     if args.engine == "seedex":
-        return SeedExEngine(band=args.band)
+        return SeedExEngine(band=args.band, registry=registry)
     if args.engine == "full":
         return FullBandEngine()
     return PlainBandedEngine(args.band)
@@ -215,37 +256,155 @@ def cmd_align(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    """Report check passing rates for a workload at one band."""
+    """Report check passing rates for a workload at one band.
+
+    The table is sourced from the metrics-registry snapshot — the same
+    numbers ``--metrics-out`` exports — so Figure-14 accounting and
+    production metrics cannot drift apart.
+    """
+    from repro.obs import names as mn
+
     name, reference = _load_reference(args.reference)
     reads = read_fastq(args.reads)
-    engine = SeedExEngine(band=args.band)
+    engine = SeedExEngine(band=args.band, registry=obs.get_registry())
+    engine.stats.reset()  # this invocation's workload only
     aligner = Aligner(
         reference, engine, seeding=args.seeding, reference_name=name
     )
     for r in reads:
         aligner.align_read(encode(r.sequence), r.name)
     stats = engine.stats
+    snap = stats.registry.snapshot()
+    counters = snap["counters"]
+    total = counters.get(mn.EXTENSIONS_TOTAL, 0)
+    rows: list[tuple[str, object]] = [
+        ("band", args.band),
+        ("extensions", total),
+        (
+            "threshold-only passing rate",
+            f"{stats.threshold_only_rate:.1%}",
+        ),
+        ("overall passing rate", f"{stats.passing_rate:.1%}"),
+        ("rerun fraction", f"{stats.rerun_rate:.1%}"),
+    ]
+    prefix = mn.CHECK_OUTCOME + "{outcome="
+    outcome_rows = sorted(
+        (
+            (key[len(prefix):-1], count)
+            for key, count in counters.items()
+            if key.startswith(prefix) and count
+        ),
+        key=lambda kv: -kv[1],
+    )
+    rows.extend(
+        (f"outcome {outcome}", count) for outcome, count in outcome_rows
+    )
     print(f"band: {args.band}")
-    print(f"extensions: {stats.total}")
-    print(f"threshold-only passing rate: {stats.threshold_only_rate:.1%}")
-    print(f"overall passing rate: {stats.passing_rate:.1%}")
-    print(f"rerun fraction: {stats.reruns / max(1, stats.total):.1%}")
-    for outcome, count in sorted(
-        stats.by_outcome.items(), key=lambda kv: -kv[1]
-    ):
-        print(f"  {outcome.name:12s} {count}")
+    print(format_table(("metric", "value"), rows))
     return 0
+
+
+_STATS_TABLES = (
+    ("counters", ("counter", "value")),
+    ("gauges", ("gauge", "value")),
+)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Pretty-print a metrics snapshot written by ``--metrics-out``."""
+    try:
+        with open(args.metrics_file) as handle:
+            snap = json.load(handle)
+    except OSError as exc:
+        print(f"error: cannot read {args.metrics_file}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(
+            f"error: {args.metrics_file} is not a metrics snapshot "
+            f"(invalid JSON: {exc})",
+            file=sys.stderr,
+        )
+        return 2
+    for section, headers in _STATS_TABLES:
+        entries = snap.get(section) or {}
+        if not entries:
+            continue
+        print(f"\n== {section} ==")
+        print(
+            format_table(
+                headers, sorted(entries.items(), key=lambda kv: kv[0])
+            )
+        )
+    histograms = snap.get("histograms") or {}
+    if histograms:
+        print("\n== histograms ==")
+        rows = []
+        for key, h in sorted(histograms.items(), key=lambda kv: kv[0]):
+            q = h.get("quantiles") or {}
+            rows.append(
+                (
+                    key,
+                    h.get("count", 0),
+                    h.get("mean", 0.0),
+                    _q(q, "p50"),
+                    _q(q, "p90"),
+                    _q(q, "p99"),
+                    h.get("max") if h.get("max") is not None else "-",
+                )
+            )
+        print(
+            format_table(
+                ("histogram", "count", "mean", "p50", "p90", "p99", "max"),
+                rows,
+            )
+        )
+    return 0
+
+
+def _q(quantiles: dict, key: str) -> object:
+    value = quantiles.get(key)
+    return "-" if value is None else value
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    exporting = bool(metrics_out or trace_out)
+    if exporting:
+        obs.reset()
+        obs.enable()
     handlers = {
         "simulate": cmd_simulate,
         "align": cmd_align,
         "analyze": cmd_analyze,
+        "stats": cmd_stats,
     }
-    return handlers[args.command](args)
+    try:
+        code = handlers[args.command](args)
+    finally:
+        export_error = None
+        if exporting:
+            try:
+                if metrics_out:
+                    obs.get_registry().write_json(metrics_out)
+                    print(f"wrote metrics snapshot to {metrics_out}")
+                if trace_out:
+                    obs.get_tracer().export_chrome(trace_out)
+                    print(f"wrote Chrome trace to {trace_out}")
+            except OSError as exc:
+                export_error = exc
+            finally:
+                obs.disable()
+        if export_error is not None:
+            print(
+                f"error: cannot write snapshot: {export_error}",
+                file=sys.stderr,
+            )
+    if export_error is not None:
+        return 1
+    return code
 
 
 if __name__ == "__main__":

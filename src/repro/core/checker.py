@@ -27,11 +27,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.align.banded import ExtensionResult
 from repro.align.scoring import AffineGap
 from repro.core.editcheck import above_check, edit_check
 from repro.core.escore import NO_THREAT, score_max_e
 from repro.core.thresholds import Thresholds, semiglobal_thresholds
+from repro.obs import names
 
 
 class CheckOutcome(enum.Enum):
@@ -142,17 +144,17 @@ class OptimalityChecker:
         result: ExtensionResult,
     ) -> CheckDecision:
         """Decide optimality of ``result`` for the given input pair."""
-        thresholds = self.thresholds_for(result)
-        if self.config.target == "local":
-            score_nb = result.lscore
-        else:
-            score_nb = result.gscore
-            if result.gpos < 0:
-                return CheckDecision(
-                    CheckOutcome.FAIL_DEAD, score_nb, thresholds
-                )
-
-        verdict = thresholds.classify(score_nb)
+        with obs.span(names.SPAN_CHECK_THRESHOLD):
+            thresholds = self.thresholds_for(result)
+            if self.config.target == "local":
+                score_nb = result.lscore
+            else:
+                score_nb = result.gscore
+                if result.gpos < 0:
+                    return CheckDecision(
+                        CheckOutcome.FAIL_DEAD, score_nb, thresholds
+                    )
+            verdict = thresholds.classify(score_nb)
         if verdict == "fail" and self.config.target != "local":
             # Case a.  The local target has no hopeless threshold: its
             # above-band sweep replaces S1 with real content.
@@ -163,9 +165,10 @@ class OptimalityChecker:
         local = self.config.target == "local"
         if not self.config.use_escore:
             return CheckDecision(CheckOutcome.FAIL_ESCORE, score_nb, thresholds)
-        e_bound = score_max_e(
-            result, self.scoring, self.config.paper_escore_formula
-        )
+        with obs.span(names.SPAN_CHECK_ESCORE):
+            e_bound = score_max_e(
+                result, self.scoring, self.config.paper_escore_formula
+            )
         e_pass = e_bound < score_nb
         if not e_pass and not local:
             return CheckDecision(
@@ -179,15 +182,16 @@ class OptimalityChecker:
         # In local mode a failed all-match E-check is not terminal:
         # the sweep re-evaluates the downward crossings with real
         # content by seeding the region's top boundary.
-        ed = edit_check(
-            query,
-            target,
-            result,
-            self.scoring,
-            thresholds.s1,
-            exact_left_seed=self.config.exact_left_seed,
-            include_top_seeds=local and not e_pass,
-        )
+        with obs.span(names.SPAN_CHECK_EDIT):
+            ed = edit_check(
+                query,
+                target,
+                result,
+                self.scoring,
+                thresholds.s1,
+                exact_left_seed=self.config.exact_left_seed,
+                include_top_seeds=local and not e_pass,
+            )
         if ed.score_ed >= score_nb:
             return CheckDecision(
                 CheckOutcome.FAIL_EDIT,
@@ -200,7 +204,8 @@ class OptimalityChecker:
         if self.config.target == "local":
             # The above-band region: the semi-global workflow has it
             # covered by score_nb > S1; the local one sweeps it.
-            ab = above_check(query, target, result, self.scoring)
+            with obs.span(names.SPAN_CHECK_ABOVE):
+                ab = above_check(query, target, result, self.scoring)
             if ab.score_ed >= score_nb:
                 return CheckDecision(
                     CheckOutcome.FAIL_ABOVE,

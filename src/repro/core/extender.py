@@ -22,10 +22,11 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.align import banded
 from repro.align.banded import ExtensionResult
 from repro.align.scoring import BWA_MEM_SCORING, AffineGap
@@ -35,27 +36,103 @@ from repro.core.checker import (
     CheckOutcome,
     OptimalityChecker,
 )
+from repro.obs import names
+from repro.obs.metrics import MetricsRegistry
 
 
-@dataclass
 class ExtenderStats:
     """Running accounting of check outcomes across extensions.
 
     ``passing_rate`` is Figure 14's y-axis; ``threshold_only_rate``
     counts extensions the thresholding alone would have admitted.
+
+    The counts live in a :class:`~repro.obs.metrics.MetricsRegistry` —
+    by default a private one, or a shared registry passed by the
+    caller (the CLI passes the process-wide registry so ``repro.cli
+    stats``/``--metrics-out`` and these properties report from one
+    source of truth).  The public properties are a stable façade over
+    the registry-backed counters.
     """
 
-    total: int = 0
-    by_outcome: dict[CheckOutcome, int] = field(default_factory=dict)
-    narrow_cells: int = 0
-    rerun_cells: int = 0
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._total = reg.counter(
+            names.EXTENSIONS_TOTAL, "extensions checked"
+        )
+        self._outcomes = {
+            outcome: reg.counter(
+                names.CHECK_OUTCOME,
+                "check decisions by outcome",
+                outcome=outcome.value,
+            )
+            for outcome in CheckOutcome
+        }
+        self._narrow_cells = reg.counter(
+            names.CELLS_NARROW, "narrow-band DP cells filled"
+        )
+        self._rerun_cells = reg.counter(
+            names.CELLS_RERUN, "full-band rerun DP cells filled"
+        )
+        self._narrow_hist = reg.histogram(
+            names.CELLS_PER_EXTENSION,
+            "DP cells filled by one extension",
+            stage="narrow",
+        )
+        self._rerun_hist = reg.histogram(
+            names.CELLS_PER_EXTENSION,
+            "DP cells filled by one extension",
+            stage="rerun",
+        )
 
     def record(self, decision: CheckDecision) -> None:
         """Account one check decision."""
-        self.total += 1
-        self.by_outcome[decision.outcome] = (
-            self.by_outcome.get(decision.outcome, 0) + 1
-        )
+        self._total.inc()
+        self._outcomes[decision.outcome].inc()
+
+    def record_narrow(self, cells: int) -> None:
+        """Account one narrow-band fill of ``cells`` DP cells."""
+        self._narrow_cells.inc(cells)
+        self._narrow_hist.observe(cells)
+
+    def record_rerun(self, cells: int) -> None:
+        """Account one full-band rerun of ``cells`` DP cells."""
+        self._rerun_cells.inc(cells)
+        self._rerun_hist.observe(cells)
+
+    def reset(self) -> None:
+        """Zero every count (registry objects stay registered)."""
+        self._total.reset()
+        for counter in self._outcomes.values():
+            counter.reset()
+        self._narrow_cells.reset()
+        self._rerun_cells.reset()
+        self._narrow_hist.reset()
+        self._rerun_hist.reset()
+
+    @property
+    def total(self) -> int:
+        """Extensions checked so far."""
+        return self._total.value
+
+    @property
+    def by_outcome(self) -> dict[CheckOutcome, int]:
+        """Nonzero check-outcome counts (compatibility façade)."""
+        return {
+            outcome: counter.value
+            for outcome, counter in self._outcomes.items()
+            if counter.value
+        }
+
+    @property
+    def narrow_cells(self) -> int:
+        """DP cells filled by narrow-band speculation."""
+        return self._narrow_cells.value
+
+    @property
+    def rerun_cells(self) -> int:
+        """DP cells filled by full-band reruns."""
+        return self._rerun_cells.value
 
     @property
     def passed(self) -> int:
@@ -71,14 +148,19 @@ class ExtenderStats:
 
     @property
     def passing_rate(self) -> float:
-        """Figure 14's overall passing rate."""
+        """Figure 14's overall passing rate (0.0 when empty)."""
         return self.passed / self.total if self.total else 0.0
 
     @property
     def threshold_only_rate(self) -> float:
-        """Fraction admitted by thresholding alone (case b)."""
+        """Fraction admitted by thresholding alone (0.0 when empty)."""
         n = self.by_outcome.get(CheckOutcome.PASS_S2, 0)
         return n / self.total if self.total else 0.0
+
+    @property
+    def rerun_rate(self) -> float:
+        """Fraction sent to the full-band rerun (0.0 when empty)."""
+        return self.reruns / self.total if self.total else 0.0
 
 
 @dataclass(frozen=True)
@@ -110,13 +192,14 @@ class SeedExtender:
         band: int = 41,
         scoring: AffineGap = BWA_MEM_SCORING,
         config: CheckConfig | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if band < 1:
             raise ValueError("band must be at least 1")
         self.band = band
         self.scoring = scoring
         self.checker = OptimalityChecker(scoring, config)
-        self.stats = ExtenderStats()
+        self.stats = ExtenderStats(registry)
 
     def extend(
         self,
@@ -130,14 +213,21 @@ class SeedExtender:
         ``full_band`` optionally caps the rerun band (BWA-MEM's
         estimated band); the default reruns with the complete matrix.
         """
-        narrow = banded.extend(query, target, self.scoring, h0, w=self.band)
-        decision = self.checker.check(query, target, narrow)
+        with obs.span(names.SPAN_EXTEND_NARROW):
+            narrow = banded.extend(
+                query, target, self.scoring, h0, w=self.band
+            )
+        with obs.span(names.SPAN_EXTEND_CHECK):
+            decision = self.checker.check(query, target, narrow)
         self.stats.record(decision)
-        self.stats.narrow_cells += narrow.cells_computed
+        self.stats.record_narrow(narrow.cells_computed)
         if decision.passed:
             return SeedExOutput(narrow, narrow, decision, rerun=False)
-        full = banded.extend(query, target, self.scoring, h0, w=full_band)
-        self.stats.rerun_cells += full.cells_computed
+        with obs.span(names.SPAN_EXTEND_RERUN):
+            full = banded.extend(
+                query, target, self.scoring, h0, w=full_band
+            )
+        self.stats.record_rerun(full.cells_computed)
         return SeedExOutput(full, narrow, decision, rerun=True)
 
     def extend_batch(
@@ -166,29 +256,32 @@ class SeedExtender:
         queries = [q for q, _, _ in jobs]
         targets = [t for _, t, _ in jobs]
         h0s = [h0 for _, _, h0 in jobs]
-        narrow = batch_kernel(
-            queries, targets, h0s, self.scoring, w=self.band
-        )
+        with obs.span(names.SPAN_EXTEND_BATCH, jobs=len(jobs)):
+            narrow = batch_kernel(
+                queries, targets, h0s, self.scoring, w=self.band
+            )
         decisions = []
         rerun_idx = []
-        for k, res in enumerate(narrow):
-            decision = self.checker.check(queries[k], targets[k], res)
-            self.stats.record(decision)
-            self.stats.narrow_cells += res.cells_computed
-            decisions.append(decision)
-            if not decision.passed:
-                rerun_idx.append(k)
+        with obs.span(names.SPAN_EXTEND_CHECK, jobs=len(jobs)):
+            for k, res in enumerate(narrow):
+                decision = self.checker.check(queries[k], targets[k], res)
+                self.stats.record(decision)
+                self.stats.record_narrow(res.cells_computed)
+                decisions.append(decision)
+                if not decision.passed:
+                    rerun_idx.append(k)
         reruns: dict[int, ExtensionResult] = {}
         if rerun_idx:
-            full = batch_kernel(
-                [queries[k] for k in rerun_idx],
-                [targets[k] for k in rerun_idx],
-                [h0s[k] for k in rerun_idx],
-                self.scoring,
-            )
+            with obs.span(names.SPAN_EXTEND_RERUN, jobs=len(rerun_idx)):
+                full = batch_kernel(
+                    [queries[k] for k in rerun_idx],
+                    [targets[k] for k in rerun_idx],
+                    [h0s[k] for k in rerun_idx],
+                    self.scoring,
+                )
             for k, res in zip(rerun_idx, full):
                 reruns[k] = res
-                self.stats.rerun_cells += res.cells_computed
+                self.stats.record_rerun(res.cells_computed)
         out = []
         for k, res in enumerate(narrow):
             if k in reruns:
@@ -200,5 +293,5 @@ class SeedExtender:
         return out
 
     def reset_stats(self) -> None:
-        """Clear the accumulated statistics."""
-        self.stats = ExtenderStats()
+        """Clear the accumulated statistics in place."""
+        self.stats.reset()

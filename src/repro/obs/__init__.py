@@ -1,0 +1,107 @@
+"""Unified observability: metrics registry + span tracer.
+
+One process-wide :class:`~repro.obs.metrics.MetricsRegistry` and one
+:class:`~repro.obs.tracing.Tracer` back every measurement the
+repository reports — Figure 14 passing rates, per-stage latencies,
+cells filled, simulator occupancy.  See ``docs/observability.md`` for
+the full metric/span catalog.
+
+Usage::
+
+    from repro import obs
+    from repro.obs import names
+
+    obs.enable()                          # attach the collectors
+    with obs.span(names.SPAN_EXTEND_NARROW):
+        ...                               # timed + traced
+    if obs.enabled():                     # guard non-span metrics
+        obs.get_registry().counter(names.ALIGNER_READS_TOTAL).inc()
+    obs.get_registry().write_json("metrics.json")
+    obs.get_tracer().export_chrome("trace.json")   # Perfetto-loadable
+
+Design rule: instrumentation must be near-zero-cost while disabled.
+``span()`` returns a shared no-op object without touching the clock,
+and every non-span instrumentation site is expected to guard itself
+with :func:`enabled` — so a pipeline with no exporter attached runs
+the exact same arithmetic as an uninstrumented one.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    P2Quantile,
+)
+from repro.obs.tracing import NOOP_SPAN, Span, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "P2Quantile",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "get_tracer",
+    "reset",
+    "span",
+    "traced",
+]
+
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer(registry=_REGISTRY)
+_ENABLED = False
+
+
+def enabled() -> bool:
+    """True when collectors are attached (instrumentation is live)."""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Attach the collectors: spans record, guarded metrics update."""
+    global _ENABLED
+    _ENABLED = True
+    _TRACER.enable()
+
+
+def disable() -> None:
+    """Detach the collectors: spans become no-ops again."""
+    global _ENABLED
+    _ENABLED = False
+    _TRACER.disable()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY
+
+
+def get_tracer() -> Tracer:
+    """The process-wide span tracer."""
+    return _TRACER
+
+
+def span(name: str, **labels):
+    """Time a block under ``name`` (no-op while disabled)."""
+    return _TRACER.span(name, **labels)
+
+
+def traced(name: str, **labels):
+    """Decorator: run the wrapped callable inside :func:`span`."""
+    return _TRACER.traced(name, **labels)
+
+
+def reset() -> None:
+    """Zero the global registry and discard collected spans."""
+    _REGISTRY.reset()
+    _TRACER.reset()

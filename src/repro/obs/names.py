@@ -1,0 +1,133 @@
+"""Canonical metric and span names: the observability catalog.
+
+Every metric or span emitted anywhere in the repository must use a
+constant from this module.  Names follow the ``dot.case`` convention
+(lowercase segments joined by dots, underscores allowed inside a
+segment) and every name must have a row in the catalog table of
+``docs/observability.md`` — both properties are enforced by
+``tools/check_metric_names.py``.
+
+Spans double as latency metrics: when tracing is enabled, a finished
+span ``x.y`` also observes the histogram ``x.y.seconds`` in the
+attached registry, so the catalog lists the span name once and the
+derived histogram is implied.
+"""
+
+from __future__ import annotations
+
+# -- spans (each also emits the histogram "<name>.seconds") -------------
+
+SPAN_EXTEND_NARROW = "extend.narrow"
+"""Narrow-band speculative fill of one extension."""
+
+SPAN_EXTEND_CHECK = "extend.check"
+"""The whole Figure 6 optimality-check workflow for one extension."""
+
+SPAN_EXTEND_RERUN = "extend.rerun"
+"""Full-band rerun of an extension that failed its checks."""
+
+SPAN_EXTEND_BATCH = "extend.batch"
+"""One batched (lockstep) narrow-band kernel invocation."""
+
+SPAN_CHECK_THRESHOLD = "check.threshold"
+"""S1/S2 threshold computation and classification (cases a/b)."""
+
+SPAN_CHECK_ESCORE = "check.escore"
+"""The E-score bound on top-entering paths (case c, first check)."""
+
+SPAN_CHECK_EDIT = "check.edit"
+"""The edit-distance bound on left-entering paths (case c, second)."""
+
+SPAN_CHECK_ABOVE = "check.above"
+"""The above-band sweep (local-target workflow only)."""
+
+SPAN_ALIGNER_READ = "aligner.read"
+"""One read aligned end to end (seed, chain, extend, traceback)."""
+
+SPAN_ALIGNER_SEED = "aligner.seed"
+"""Seeding one read orientation (SMEM or k-mer lookup)."""
+
+SPAN_ALIGNER_CHAIN = "aligner.chain"
+"""Chaining and filtering the seeds of one orientation."""
+
+SPAN_ALIGNER_EXTEND = "aligner.extend"
+"""Left+right extension of one chain through the engine."""
+
+SPAN_ALIGNER_TRACEBACK = "aligner.traceback"
+"""Host-side traceback of the winning candidate."""
+
+SPAN_HOST_KERNEL = "host.kernel"
+"""One software-kernel timing sweep (Figure 3 measurements)."""
+
+# -- counters -----------------------------------------------------------
+
+EXTENSIONS_TOTAL = "seedex.extensions.total"
+"""Extensions pushed through the speculate-and-test workflow."""
+
+CHECK_OUTCOME = "seedex.check.outcome"
+"""Check decisions by terminal outcome (labels: ``outcome``)."""
+
+CELLS_NARROW = "seedex.cells.narrow"
+"""DP cells filled by the narrow-band speculation."""
+
+CELLS_RERUN = "seedex.cells.rerun"
+"""DP cells filled by full-band reruns."""
+
+ENGINE_EXTENSIONS = "engine.extensions"
+"""Extensions served per engine (labels: ``engine``)."""
+
+ENGINE_CELLS = "engine.cells"
+"""DP cells filled per engine (labels: ``engine``)."""
+
+ALIGNER_READS_TOTAL = "aligner.reads.total"
+"""Reads entering the end-to-end aligner."""
+
+ALIGNER_READS_UNMAPPED = "aligner.reads.unmapped"
+"""Reads that produced no alignment candidate."""
+
+ALIGNER_SEEDS_TOTAL = "aligner.seeds.total"
+"""Seeds found across both orientations of every read."""
+
+ALIGNER_CHAINS_KEPT = "aligner.chains.kept"
+"""Chains surviving the filter across every read."""
+
+ALIGNER_CANDIDATES_TOTAL = "aligner.candidates.total"
+"""Fully-extended alignment candidates scored."""
+
+# -- histograms ---------------------------------------------------------
+
+CELLS_PER_EXTENSION = "seedex.cells.per_extension"
+"""DP cells filled by one extension (labels: ``stage``)."""
+
+ALIGNER_SEEDS_PER_READ = "aligner.seeds.per_read"
+"""Seeds found for one read (both orientations)."""
+
+ALIGNER_CHAINS_PER_READ = "aligner.chains.per_read"
+"""Chains kept for one read (both orientations)."""
+
+# -- gauges -------------------------------------------------------------
+
+SYSTEM_FPGA_UTILIZATION = "system.fpga.utilization"
+"""Fraction of the simulated makespan the device computed (Fig 12)."""
+
+SYSTEM_LOCK_WAIT_MEAN = "system.lock_wait.mean_seconds"
+"""Mean FPGA-lock wait per batch in the protocol simulation."""
+
+SYSTEM_THROUGHPUT = "system.throughput.ext_per_s"
+"""End-to-end throughput of the simulated timeline."""
+
+SYSTEM_BATCHES_FINISHED = "system.batches.finished"
+"""Batches the simulated timeline completed."""
+
+
+def all_names() -> dict[str, str]:
+    """Map constant identifier -> metric/span name string.
+
+    The lint tool iterates this to validate naming convention and
+    catalog coverage; instrumentation sites import the constants.
+    """
+    return {
+        key: value
+        for key, value in globals().items()
+        if key.isupper() and isinstance(value, str)
+    }

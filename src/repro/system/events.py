@@ -20,7 +20,9 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro import constants as paper
+from repro import obs
 from repro.hw import timing
+from repro.obs import names
 from repro.system.fpga import BatchTransfer, F1Instance
 
 
@@ -157,7 +159,7 @@ def simulate_timeline(
                         "package",
                     ),
                 )
-    return TimelineReport(
+    report = TimelineReport(
         events=events,
         finished_batches=finished,
         batch_size=batch_size,
@@ -165,6 +167,21 @@ def simulate_timeline(
         fpga_busy=fpga_busy,
         total_lock_wait=total_lock_wait,
     )
+    if obs.enabled():
+        reg = obs.get_registry()
+        reg.gauge(
+            names.SYSTEM_FPGA_UTILIZATION, "device busy fraction"
+        ).set(report.fpga_utilization)
+        reg.gauge(
+            names.SYSTEM_LOCK_WAIT_MEAN, "mean lock wait per batch"
+        ).set(report.mean_lock_wait)
+        reg.gauge(
+            names.SYSTEM_THROUGHPUT, "timeline throughput"
+        ).set(report.throughput_ext_per_s)
+        reg.gauge(
+            names.SYSTEM_BATCHES_FINISHED, "batches completed"
+        ).set(report.finished_batches)
+    return report
 
 
 def threads_to_saturate(

@@ -15,9 +15,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.align import banded
 from repro.align.scoring import BWA_MEM_SCORING, AffineGap
 from repro.genome.synth import ExtensionJob
+from repro.obs import names
 
 
 @dataclass(frozen=True)
@@ -44,13 +46,16 @@ def time_software_kernel(
     if not jobs:
         raise ValueError("need at least one job to time")
     cells = 0
-    start = time.perf_counter()
-    for _ in range(repeats):
-        cells = 0
-        for job in jobs:
-            res = banded.extend(job.query, job.target, scoring, job.h0, w=band)
-            cells += res.cells_computed
-    elapsed = time.perf_counter() - start
+    with obs.span(names.SPAN_HOST_KERNEL, band=band or -1):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            cells = 0
+            for job in jobs:
+                res = banded.extend(
+                    job.query, job.target, scoring, job.h0, w=band
+                )
+                cells += res.cells_computed
+        elapsed = time.perf_counter() - start
     n = len(jobs) * repeats
     effective_band = band if band is not None else -1
     return KernelTiming(

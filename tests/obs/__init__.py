@@ -1,0 +1,1 @@
+"""Tests of the observability layer (metrics, tracing, integration)."""

@@ -1,0 +1,15 @@
+"""Observability-test fixtures: leave the global collectors clean."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Reset the global registry/tracer around every obs test."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,137 @@
+"""Integration: instrumentation observes but never perturbs.
+
+The contract of the obs layer is that turning it on changes *nothing*
+about the computation — SAM output must stay bit-identical — while
+the expected spans and counters appear in the global collectors.
+Also covers the registry-backed :class:`ExtenderStats` façade.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SeedExtender, obs
+from repro.aligner.engines import SeedExEngine
+from repro.aligner.pipeline import Aligner
+from repro.core.checker import CheckOutcome
+from repro.core.extender import ExtenderStats
+from repro.genome.synth import (
+    PLATINUM_LIKE,
+    ReadSimulator,
+    synthesize_reference,
+)
+from repro.obs import names
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(42)
+    reference = synthesize_reference(20_000, rng)
+    sim = ReadSimulator(reference, PLATINUM_LIKE, seed=7)
+    return reference, sim.simulate(15)
+
+
+def _sam_lines(reference, reads, band=9):
+    aligner = Aligner(reference, SeedExEngine(band=band), seeding="kmer")
+    return [str(aligner.align_read(r.codes, r.name)) for r in reads]
+
+
+class TestInstrumentedPipeline:
+    def test_sam_identical_with_obs_on_and_off(self, workload):
+        reference, reads = workload
+        obs.disable()
+        plain = _sam_lines(reference, reads)
+        obs.enable()
+        instrumented = _sam_lines(reference, reads)
+        assert instrumented == plain
+
+    def test_expected_spans_emitted(self, workload):
+        reference, reads = workload
+        obs.enable()
+        _sam_lines(reference, reads)
+        spans = obs.get_tracer().span_names()
+        expected = {
+            names.SPAN_ALIGNER_READ,
+            names.SPAN_ALIGNER_SEED,
+            names.SPAN_ALIGNER_CHAIN,
+            names.SPAN_ALIGNER_EXTEND,
+            names.SPAN_ALIGNER_TRACEBACK,
+            names.SPAN_EXTEND_NARROW,
+            names.SPAN_EXTEND_CHECK,
+            names.SPAN_CHECK_THRESHOLD,
+        }
+        assert expected <= spans
+
+    def test_aligner_counters_in_global_registry(self, workload):
+        reference, reads = workload
+        obs.enable()
+        _sam_lines(reference, reads)
+        counters = obs.get_registry().snapshot()["counters"]
+        assert counters[names.ALIGNER_READS_TOTAL] == len(reads)
+        assert counters[names.ALIGNER_SEEDS_TOTAL] >= len(reads)
+        key = names.ENGINE_EXTENSIONS + "{engine=seedex-w9}"
+        assert counters[key] > 0
+
+    def test_disabled_pipeline_leaves_collectors_empty(self, workload):
+        reference, reads = workload
+        obs.disable()
+        obs.reset()
+        _sam_lines(reference, reads)
+        assert obs.get_tracer().records == []
+        # reset() zeroes in place; disabled runs must not count.
+        counters = obs.get_registry().snapshot()["counters"]
+        assert all(value == 0 for value in counters.values())
+
+
+class TestExtenderStatsRegistry:
+    def test_zero_guards(self):
+        stats = ExtenderStats()
+        assert stats.passing_rate == 0.0
+        assert stats.threshold_only_rate == 0.0
+        assert stats.rerun_rate == 0.0
+
+    def test_counts_match_registry(self):
+        from repro.genome.sequence import encode
+
+        reg = MetricsRegistry()
+        ext = SeedExtender(band=9, registry=reg)
+        ext.extend(encode("ACGTACGTAC"), encode("ACGTTCGTAC"), h0=10)
+        counters = reg.snapshot()["counters"]
+        assert counters[names.EXTENSIONS_TOTAL] == ext.stats.total == 1
+        assert counters[names.CELLS_NARROW] == ext.stats.narrow_cells
+        assert stats_outcome_total(counters) == 1
+        assert ext.stats.by_outcome == {CheckOutcome.PASS_S2: 1}
+
+    def test_reset_in_place(self):
+        from repro.genome.sequence import encode
+
+        ext = SeedExtender(band=9)
+        ext.extend(encode("ACGTACGTAC"), encode("ACGTTCGTAC"), h0=10)
+        stats = ext.stats
+        ext.reset_stats()
+        assert ext.stats is stats  # same façade, zeroed in place
+        assert stats.total == 0
+        assert stats.by_outcome == {}
+        assert stats.narrow_cells == 0
+        assert stats.rerun_cells == 0
+
+    def test_cells_histograms_recorded(self):
+        from repro.genome.sequence import encode
+
+        reg = MetricsRegistry()
+        ext = SeedExtender(band=9, registry=reg)
+        ext.extend(encode("ACGTACGTAC"), encode("ACGTTCGTAC"), h0=10)
+        hists = reg.snapshot()["histograms"]
+        key = names.CELLS_PER_EXTENSION + "{stage=narrow}"
+        assert hists[key]["count"] == 1
+        assert hists[key]["sum"] == ext.stats.narrow_cells
+
+
+def stats_outcome_total(counters: dict) -> int:
+    """Sum the per-outcome check counters in a snapshot."""
+    prefix = names.CHECK_OUTCOME + "{"
+    return sum(
+        count
+        for key, count in counters.items()
+        if key.startswith(prefix)
+    )

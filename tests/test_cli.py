@@ -1,5 +1,7 @@
 """End-to-end tests of the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -162,3 +164,68 @@ class TestAnalyze:
         out = capsys.readouterr().out
         assert "overall passing rate" in out
         assert "band: 41" in out
+        # The passing-rate report is a shared-format table now.
+        assert "metric" in out and "value" in out
+
+
+class TestObservability:
+    def _sam_records(self, path):
+        with open(path) as handle:
+            return [
+                line for line in handle if not line.startswith("@")
+            ]
+
+    def test_metrics_and_trace_outputs(self, workload, tmp_path):
+        root, ref, reads = workload
+        out = str(tmp_path / "obs.sam")
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.json"
+        rc = main(
+            ["align", "--reference", ref, "--reads", reads,
+             "--out", out, "--metrics-out", str(metrics),
+             "--trace-out", str(trace)]
+        )
+        assert rc == 0
+        snap = json.loads(metrics.read_text())
+        counters = snap["counters"]
+        assert counters["aligner.reads.total"] == 25
+        assert counters["seedex.extensions.total"] > 0
+        assert any(
+            key.startswith("seedex.check.outcome{") for key in counters
+        )
+        hists = snap["histograms"]
+        assert hists["extend.narrow.seconds"]["count"] > 0
+        assert (
+            hists["seedex.cells.per_extension{stage=narrow}"]["count"]
+            > 0
+        )
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"], "trace must contain spans"
+        assert all(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_sam_identical_with_and_without_obs(self, workload, tmp_path):
+        _, ref, reads = workload
+        plain = str(tmp_path / "plain.sam")
+        observed = str(tmp_path / "observed.sam")
+        main(["align", "--reference", ref, "--reads", reads,
+              "--out", plain])
+        main(["align", "--reference", ref, "--reads", reads,
+              "--out", observed,
+              "--metrics-out", str(tmp_path / "m.json"),
+              "--trace-out", str(tmp_path / "t.json")])
+        assert self._sam_records(observed) == self._sam_records(plain)
+
+    def test_stats_pretty_printer(self, workload, tmp_path, capsys):
+        _, ref, reads = workload
+        metrics = tmp_path / "m.json"
+        main(["align", "--reference", ref, "--reads", reads,
+              "--out", str(tmp_path / "x.sam"),
+              "--metrics-out", str(metrics)])
+        capsys.readouterr()
+        rc = main(["stats", str(metrics)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== counters ==" in out
+        assert "aligner.reads.total" in out
+        assert "== histograms ==" in out
+        assert "p50" in out

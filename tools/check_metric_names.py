@@ -1,0 +1,82 @@
+"""Lint the observability catalog.
+
+Run:  python tools/check_metric_names.py
+
+Checks, for every constant in ``repro.obs.names``:
+
+1. the name follows the ``dot.case`` convention
+   (``^[a-z][a-z0-9_]*(\\.[a-z][a-z0-9_]*)+$``);
+2. the name appears (backtick-quoted) in the catalog tables of
+   ``docs/observability.md``.
+
+And, in the other direction, that every backtick-quoted dot.case name
+in the catalog resolves to a constant — so the doc cannot drift ahead
+of the code either.  Exits non-zero on any violation; CI runs this.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs import names  # noqa: E402
+
+DOT_CASE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+CATALOG = ROOT / "docs" / "observability.md"
+
+# First cell of a catalog table row: "| `the.name` | ...".  Prose
+# mentions (examples, file names) are deliberately out of scope;
+# `.seconds` histograms are implied by span rows.
+DOC_NAME = re.compile(
+    r"^\|\s*`([a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+)`\s*\|",
+    re.MULTILINE,
+)
+
+IMPLIED_SUFFIX = ".seconds"
+
+
+def main() -> int:
+    """Validate names both ways; print findings; return exit code."""
+    declared = names.all_names()
+    doc_text = CATALOG.read_text()
+    errors: list[str] = []
+
+    for const, value in sorted(declared.items()):
+        if not DOT_CASE.fullmatch(value):
+            errors.append(
+                f"{const} = {value!r} violates the dot.case convention"
+            )
+        if f"`{value}`" not in doc_text:
+            errors.append(
+                f"{const} = {value!r} missing from {CATALOG.name}"
+            )
+
+    known = set(declared.values())
+    for doc_name in sorted(set(DOC_NAME.findall(doc_text))):
+        base = doc_name
+        if base.endswith(IMPLIED_SUFFIX):
+            base = base[: -len(IMPLIED_SUFFIX)]
+        if base not in known and doc_name not in known:
+            errors.append(
+                f"{CATALOG.name} documents {doc_name!r} which no "
+                "constant in repro/obs/names.py declares"
+            )
+
+    if errors:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        print(f"{len(errors)} catalog violation(s)", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {len(declared)} metric/span names follow dot.case and "
+        f"match {CATALOG.name}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
