@@ -129,3 +129,52 @@ class SeedExEngine:
         out = self._extender.extend(query, target, h0)
         _account(self.name, out.narrow_result.cells_computed)
         return out.result
+
+
+def make_resilient(
+    engine: ExtensionEngine,
+    fault_rate: float = 0.0,
+    fault_seed: int = 0,
+    max_retries: int = 3,
+    timeout_s: float = 0.25,
+    registry: MetricsRegistry | None = None,
+    host_queue_capacity: int | None = None,
+    fault_sites: tuple[str, ...] | None = None,
+    sleep=None,
+):
+    """Wrap ``engine`` in the chaos/resilience layer.
+
+    With ``fault_rate == 0`` no injector is attached and the
+    dispatcher is a measured no-op passthrough; with a positive rate
+    the engine's datapath runs through the faultable I/O seams
+    (:mod:`repro.faults`) and the retry → host-rerun → dead-letter
+    ladder guarantees the result anyway.  Returns a
+    :class:`~repro.faults.resilience.ResilientDispatcher`, which
+    satisfies the :class:`ExtensionEngine` protocol.
+    """
+    # Local import keeps the engine module importable without pulling
+    # the faults package into every pipeline run.
+    from repro.faults import (
+        ChaosEngine,
+        FaultInjector,
+        ResilientDispatcher,
+        RetryPolicy,
+    )
+
+    injector = None
+    wrapped = engine
+    if fault_rate > 0.0:
+        injector = FaultInjector(
+            rate=fault_rate, seed=fault_seed, sites=fault_sites
+        )
+        wrapped = ChaosEngine(engine, injector)
+    kwargs = {} if sleep is None else {"sleep": sleep}
+    return ResilientDispatcher(
+        wrapped,
+        policy=RetryPolicy(max_retries=max_retries, timeout_s=timeout_s),
+        injector=injector,
+        registry=registry,
+        host_queue_capacity=host_queue_capacity,
+        seed=fault_seed,
+        **kwargs,
+    )

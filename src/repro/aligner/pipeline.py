@@ -27,6 +27,7 @@ from repro.align.cigar import Cigar
 from repro.align.fullmatrix import traceback_extension
 from repro.align.scoring import AffineGap
 from repro.aligner.engines import ExtensionEngine, FullBandEngine
+from repro.faults.errors import DeadLetterError
 from repro.genome.sam import FLAG_REVERSE, SamRecord
 from repro.genome.sequence import decode, reverse_complement
 from repro.obs import names
@@ -37,6 +38,12 @@ from repro.seeding.mems import seed_read
 
 END_BONUS = 4
 """Preference for to-end over clipped extensions (BWA-MEM's -L)."""
+
+DEGRADED = "degraded"
+"""Sentinel: a chain whose extension exhausted the resilience ladder."""
+
+DEGRADED_TAG = "XF:Z:degraded_extension"
+"""SAM tag on reads left unmapped by the degradation ladder."""
 
 
 @dataclass
@@ -102,7 +109,8 @@ class Aligner:
 
     def _extend_chain(
         self, query: np.ndarray, chain: Chain, reverse: bool
-    ) -> AlignmentCandidate | None:
+    ) -> "AlignmentCandidate | str | None":
+        """Extend one chain; ``DEGRADED`` when the engine dead-letters."""
         ref = self.reference
         seed = chain.anchor
         seed_len = seed.length
@@ -114,7 +122,10 @@ class Aligner:
         lt_lo = max(0, seed.rbegin - len(lq) - self.band_margin)
         lt = ref[lt_lo : seed.rbegin][::-1].copy()
         if len(lq):
-            lres = self.engine.extend(lq, lt, h0)
+            try:
+                lres = self.engine.extend(lq, lt, h0)
+            except DeadLetterError:
+                return DEGRADED
             l_end, l_score, clip_left = _resolve_end(lres, h0)
             if l_end == (0, 0) and l_score <= 0:
                 return None
@@ -128,7 +139,10 @@ class Aligner:
         rt_hi = min(len(ref), seed_rend + len(rq) + self.band_margin)
         rt = ref[seed_rend:rt_hi].copy()
         if len(rq):
-            rres = self.engine.extend(rq, rt, l_score)
+            try:
+                rres = self.engine.extend(rq, rt, l_score)
+            except DeadLetterError:
+                return DEGRADED
             r_end, final, clip_right = _resolve_end(rres, l_score)
         else:
             r_end, final, clip_right = (0, 0), l_score, 0
@@ -164,6 +178,7 @@ class Aligner:
         candidates: list[AlignmentCandidate] = []
         n_seeds = 0
         n_chains = 0
+        n_degraded = 0
         for reverse in (False, True):
             query = reverse_complement(codes) if reverse else codes
             with obs.span(names.SPAN_ALIGNER_SEED):
@@ -177,7 +192,9 @@ class Aligner:
             for chain in chains:
                 with obs.span(names.SPAN_ALIGNER_EXTEND):
                     cand = self._extend_chain(query, chain, reverse)
-                if cand is not None:
+                if cand is DEGRADED:
+                    n_degraded += 1
+                elif cand is not None:
                     candidates.append(cand)
 
         if obs.enabled():
@@ -202,10 +219,18 @@ class Aligner:
                 reg.counter(
                     names.ALIGNER_READS_UNMAPPED, "unmapped reads"
                 ).inc()
+            if n_degraded and not candidates:
+                reg.counter(
+                    names.ALIGNER_READS_DEGRADED,
+                    "reads unmapped by the degradation ladder",
+                ).inc()
 
         seq = decode(codes)
         if not candidates:
-            return SamRecord.unmapped(name, seq)
+            # Never crash on a dead-lettered extension: the read goes
+            # out unmapped with the reason in a tag.
+            tags = (DEGRADED_TAG,) if n_degraded else ()
+            return SamRecord.unmapped(name, seq, tags=tags)
 
         candidates.sort(key=lambda c: (-c.score, c.reverse, c.pos))
         best = candidates[0]

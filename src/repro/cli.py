@@ -79,6 +79,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome-trace/Perfetto span timeline (JSON)",
     )
 
+    chaos_opts = argparse.ArgumentParser(add_help=False)
+    chaos_opts.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the engine behind the fault-injecting resilient "
+        "dispatcher (see docs/resilience.md)",
+    )
+    chaos_opts.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.01,
+        metavar="P",
+        help="per-site, per-attempt fault probability (default 0.01)",
+    )
+    chaos_opts.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="RNG seed of the fault injector (default 0)",
+    )
+    chaos_opts.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="accelerator retries before the host rerun (default 3)",
+    )
+    chaos_opts.add_argument(
+        "--timeout",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="per-attempt stall/timeout budget (default 0.25)",
+    )
+
     sim = sub.add_parser(
         "simulate",
         help="generate a synthetic workload",
@@ -97,7 +133,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     aln = sub.add_parser(
-        "align", help="align reads to a reference", parents=[obs_opts]
+        "align",
+        help="align reads to a reference",
+        parents=[obs_opts, chaos_opts],
     )
     aln.add_argument("--reference", required=True)
     aln.add_argument("--reads", required=True)
@@ -116,7 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     ana = sub.add_parser(
         "analyze",
         help="check passing rates for a band",
-        parents=[obs_opts],
+        parents=[obs_opts, chaos_opts],
     )
     ana.add_argument("--reference", required=True)
     ana.add_argument("--reads", required=True)
@@ -154,6 +192,42 @@ def _make_engine(args: argparse.Namespace):
     if args.engine == "full":
         return FullBandEngine()
     return PlainBandedEngine(args.band)
+
+
+def _wrap_chaos(engine, args: argparse.Namespace):
+    """Wrap ``engine`` per the ``--chaos`` flags; ``None`` when off."""
+    if not getattr(args, "chaos", False):
+        return engine, None
+    from repro.aligner.engines import make_resilient
+
+    dispatcher = make_resilient(
+        engine,
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
+        max_retries=args.max_retries,
+        timeout_s=args.timeout,
+        registry=obs.get_registry() if obs.enabled() else None,
+    )
+    return dispatcher, dispatcher
+
+
+def _print_chaos_summary(dispatcher) -> None:
+    """One-line resilience accounting after a chaos run."""
+    stats = dispatcher.stats
+    print(
+        f"chaos: {stats.injected_total} faults injected "
+        f"({stats.detected_total} detected, "
+        f"{stats.tolerated_total} tolerated), "
+        f"{stats.retries} retries, {stats.timeouts} timeouts, "
+        f"{stats.fallbacks} host fallbacks, "
+        f"{stats.dead_letters} dead letters"
+    )
+    if not stats.accounted():
+        print(
+            "warning: fault accounting mismatch "
+            "(injected != detected + tolerated)",
+            file=sys.stderr,
+        )
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -198,7 +272,8 @@ def cmd_align(args: argparse.Namespace) -> int:
     """Align a FASTQ against a FASTA reference, write SAM."""
     name, reference = _load_reference(args.reference)
     reads = read_fastq(args.reads)
-    engine = _make_engine(args)
+    base_engine = _make_engine(args)
+    engine, dispatcher = _wrap_chaos(base_engine, args)
     start = time.perf_counter()
     if args.paired:
         from repro.aligner.paired import PairedAligner, ReadPair
@@ -227,6 +302,8 @@ def cmd_align(args: argparse.Namespace) -> int:
             f"{paired.stats.proper} proper, {paired.stats.rescued} "
             f"rescued) in {elapsed:.1f}s with engine {engine.name}"
         )
+        if dispatcher is not None:
+            _print_chaos_summary(dispatcher)
         return 0
     aligner = Aligner(
         reference,
@@ -245,13 +322,15 @@ def cmd_align(args: argparse.Namespace) -> int:
         f"aligned {len(records)} reads ({mapped} mapped) in "
         f"{elapsed:.1f}s with engine {engine.name}"
     )
-    if isinstance(engine, SeedExEngine):
-        stats = engine.stats
+    if isinstance(base_engine, SeedExEngine):
+        stats = base_engine.stats
         print(
             f"check passing rate {stats.passing_rate:.1%} "
             f"({stats.reruns} full-band reruns of {stats.total} "
             "extensions)"
         )
+    if dispatcher is not None:
+        _print_chaos_summary(dispatcher)
     return 0
 
 
@@ -266,14 +345,15 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     name, reference = _load_reference(args.reference)
     reads = read_fastq(args.reads)
-    engine = SeedExEngine(band=args.band, registry=obs.get_registry())
-    engine.stats.reset()  # this invocation's workload only
+    base_engine = SeedExEngine(band=args.band, registry=obs.get_registry())
+    base_engine.stats.reset()  # this invocation's workload only
+    engine, dispatcher = _wrap_chaos(base_engine, args)
     aligner = Aligner(
         reference, engine, seeding=args.seeding, reference_name=name
     )
     for r in reads:
         aligner.align_read(encode(r.sequence), r.name)
-    stats = engine.stats
+    stats = base_engine.stats
     snap = stats.registry.snapshot()
     counters = snap["counters"]
     total = counters.get(mn.EXTENSIONS_TOTAL, 0)
@@ -301,6 +381,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     )
     print(f"band: {args.band}")
     print(format_table(("metric", "value"), rows))
+    if dispatcher is not None:
+        _print_chaos_summary(dispatcher)
     return 0
 
 

@@ -1,0 +1,56 @@
+"""Fault injection and resilience for the simulated datapath.
+
+SeedEx's correctness story is speculate-and-test: the narrow-band
+result is provably optimal or the host reruns it full-band.  This
+package makes the *system* around that contract chaos-testable — a
+seedable :class:`FaultInjector` corrupts the accelerator at its real
+seams (packed memory lines, result records, arbiter streams, batch
+dispatch, the host rerun queue), and the
+:class:`ResilientDispatcher` survives all of it through a
+retry → host-rerun → dead-letter degradation ladder while keeping SAM
+output bit-identical to the full-band engine.
+
+See ``docs/resilience.md`` for the failure model and ladder diagram.
+"""
+
+from __future__ import annotations
+
+from repro.faults.chaos import ChaosEngine
+from repro.faults.errors import (
+    DataCorruptionFault,
+    DeadLetterError,
+    FaultError,
+    MissingRecordFault,
+    SilentCorruptionError,
+    StalledStreamFault,
+    TransientAcceleratorFault,
+)
+from repro.faults.injector import (
+    ALL_SITES,
+    DATAPATH_SITES,
+    FaultInjector,
+)
+from repro.faults.resilience import (
+    DeadLetter,
+    ResilienceStats,
+    ResilientDispatcher,
+    RetryPolicy,
+)
+
+__all__ = [
+    "ALL_SITES",
+    "ChaosEngine",
+    "DATAPATH_SITES",
+    "DataCorruptionFault",
+    "DeadLetter",
+    "DeadLetterError",
+    "FaultError",
+    "FaultInjector",
+    "MissingRecordFault",
+    "ResilienceStats",
+    "ResilientDispatcher",
+    "RetryPolicy",
+    "SilentCorruptionError",
+    "StalledStreamFault",
+    "TransientAcceleratorFault",
+]

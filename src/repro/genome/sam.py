@@ -65,7 +65,10 @@ class SamRecord:
         return "\t".join(fields)
 
     @classmethod
-    def unmapped(cls, qname: str, seq: str) -> "SamRecord":
+    def unmapped(
+        cls, qname: str, seq: str, tags: tuple[str, ...] = ()
+    ) -> "SamRecord":
+        """An unmapped record; ``tags`` can carry a reason (XF:Z:…)."""
         return cls(
             qname=qname,
             flag=FLAG_UNMAPPED,
@@ -74,6 +77,7 @@ class SamRecord:
             mapq=0,
             cigar="*",
             seq=seq,
+            tags=tags,
         )
 
     @classmethod

@@ -94,6 +94,33 @@ ALIGNER_CHAINS_KEPT = "aligner.chains.kept"
 ALIGNER_CANDIDATES_TOTAL = "aligner.candidates.total"
 """Fully-extended alignment candidates scored."""
 
+ALIGNER_READS_DEGRADED = "aligner.reads.degraded"
+"""Reads left unmapped because an extension exhausted the ladder."""
+
+FAULTS_INJECTED = "faults.injected"
+"""Faults the chaos injector planted (labels: ``site``)."""
+
+FAULTS_DETECTED = "faults.detected"
+"""Injected faults that surfaced as typed errors (labels: ``site``)."""
+
+FAULTS_TOLERATED = "faults.tolerated"
+"""Injected faults absorbed without consequence (labels: ``site``)."""
+
+RESILIENCE_JOBS = "resilience.jobs.total"
+"""Jobs entering the resilient dispatcher."""
+
+RESILIENCE_RETRIES = "resilience.retries.total"
+"""Accelerator retries taken by the dispatcher."""
+
+RESILIENCE_TIMEOUTS = "resilience.timeouts.total"
+"""Per-attempt timeouts (stalls past the deadline)."""
+
+RESILIENCE_FALLBACKS = "resilience.fallbacks.host"
+"""Jobs degraded to the host full-band rerun."""
+
+RESILIENCE_DEAD_LETTERS = "resilience.dead_letters.total"
+"""Jobs that exhausted the whole degradation ladder."""
+
 # -- histograms ---------------------------------------------------------
 
 CELLS_PER_EXTENSION = "seedex.cells.per_extension"
@@ -104,6 +131,9 @@ ALIGNER_SEEDS_PER_READ = "aligner.seeds.per_read"
 
 ALIGNER_CHAINS_PER_READ = "aligner.chains.per_read"
 """Chains kept for one read (both orientations)."""
+
+RESILIENCE_ATTEMPTS = "resilience.attempts.per_job"
+"""Accelerator attempts one job needed before success/fallback."""
 
 # -- gauges -------------------------------------------------------------
 
@@ -118,6 +148,9 @@ SYSTEM_THROUGHPUT = "system.throughput.ext_per_s"
 
 SYSTEM_BATCHES_FINISHED = "system.batches.finished"
 """Batches the simulated timeline completed."""
+
+RESILIENCE_OVERHEAD = "resilience.overhead.fraction"
+"""Measured dispatcher overhead with faults disabled (<1% target)."""
 
 
 def all_names() -> dict[str, str]:

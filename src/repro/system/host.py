@@ -45,6 +45,12 @@ def time_software_kernel(
     """Wall-clock the banded software kernel over a job corpus."""
     if not jobs:
         raise ValueError("need at least one job to time")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1 (got %d)" % repeats)
+    if band is not None and band < 1:
+        raise ValueError(
+            "band must be >= 1 or None for the full band (got %d)" % band
+        )
     cells = 0
     with obs.span(names.SPAN_HOST_KERNEL, band=band or -1):
         start = time.perf_counter()
@@ -103,3 +109,44 @@ class RerunBudget:
         return (
             self.rerun_demand_ext_per_s / self.host_capacity_ext_per_s - 1.0
         )
+
+    def with_faults(
+        self, fault_rate: float, max_retries: int
+    ) -> "RerunBudget":
+        """The budget under injected datapath faults.
+
+        See :func:`fault_adjusted_rerun_fraction` for the model: the
+        extra host demand is the jobs whose accelerator retries all
+        faulted and therefore degrade to the full-band rerun.
+        """
+        return RerunBudget(
+            rerun_fraction=fault_adjusted_rerun_fraction(
+                self.rerun_fraction, fault_rate, max_retries
+            ),
+            host_threads=self.host_threads,
+            full_band_seconds_per_extension=(
+                self.full_band_seconds_per_extension
+            ),
+            fpga_throughput_ext_per_s=self.fpga_throughput_ext_per_s,
+        )
+
+
+def fault_adjusted_rerun_fraction(
+    base_fraction: float, fault_rate: float, max_retries: int
+) -> float:
+    """Host rerun fraction once datapath faults join the check failures.
+
+    A job degrades to the host when every accelerator attempt (the
+    first try plus ``max_retries`` retries) faults — probability
+    ``fault_rate ** (1 + max_retries)`` under independent per-attempt
+    faults.  Those jobs add to the paper's ~2% check-failure reruns;
+    jobs already rerunning cannot degrade twice.
+    """
+    if not 0.0 <= base_fraction <= 1.0:
+        raise ValueError("base rerun fraction must be in [0, 1]")
+    if not 0.0 <= fault_rate < 1.0:
+        raise ValueError("fault rate must be in [0, 1)")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    escalated = fault_rate ** (1 + max_retries)
+    return base_fraction + (1.0 - base_fraction) * escalated

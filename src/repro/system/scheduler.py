@@ -101,16 +101,37 @@ def model_configuration(
     configuration: str,
     rerun_fraction: float = paper.RERUN_RATE,
     software_kernel_speedup: float = SOFTWARE_SEEDEX_KERNEL_SPEEDUP_DEFAULT,
+    fault_rate: float = 0.0,
+    max_retries: int = 3,
 ) -> EndToEndResult:
     """Normalized end-to-end time of one configuration.
 
     ``rerun_fraction`` may come from a measured corpus (the harnesses
-    pass the rate their checker actually observed).
+    pass the rate their checker actually observed).  ``fault_rate``
+    models an unreliable accelerator datapath: jobs whose attempts
+    (1 + ``max_retries``) all fault degrade to the host full-band
+    rerun, growing the rerun remainder per
+    :func:`repro.system.host.fault_adjusted_rerun_fraction`, and every
+    faulted attempt re-occupies the FPGA, inflating the accelerated
+    extension time by the expected attempt count.
     """
+    from repro.system.host import fault_adjusted_rerun_fraction
+
     seeding = breakdown.seeding
     extension = breakdown.extension
     other = breakdown.other
     rerun = 0.0
+
+    effective_rerun = fault_adjusted_rerun_fraction(
+        rerun_fraction, fault_rate, max_retries
+    )
+    # Expected accelerator attempts per job under independent
+    # per-attempt faults (geometric, truncated at max_retries+1).
+    attempts = (
+        (1.0 - fault_rate ** (1 + max_retries)) / (1.0 - fault_rate)
+        if fault_rate
+        else 1.0
+    )
 
     if configuration == "baseline":
         pass
@@ -120,11 +141,11 @@ def model_configuration(
         # FPGA extension throughput dwarfs software: the visible cost
         # is the host-side rerun remainder (overlapped, so only the
         # non-overlappable fraction shows) plus driver time.
-        rerun = extension * rerun_fraction
-        extension = extension * 0.01
+        rerun = extension * effective_rerun
+        extension = extension * 0.01 * attempts
     elif configuration == "seeding+seedex-fpga":
-        rerun = extension * rerun_fraction
-        extension = extension * 0.01
+        rerun = extension * effective_rerun
+        extension = extension * 0.01 * attempts
         seeding = seeding * 0.02
     else:
         raise ValueError(f"unknown configuration {configuration!r}")

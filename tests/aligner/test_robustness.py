@@ -103,3 +103,71 @@ class TestAdversarialRepeats:
             assert 1 <= len(job.query) <= 101
             assert len(job.target) >= len(job.query)
             assert job.h0 >= 19
+
+
+class TestAdversarialInputs:
+    """Degenerate shapes must not crash and must not diverge engines."""
+
+    def _both(self, reference):
+        return (
+            Aligner(reference, FullBandEngine(), seeding="kmer"),
+            Aligner(reference, SeedExEngine(band=9), seeding="kmer"),
+        )
+
+    def test_zero_length_read(self, reference):
+        for aligner in self._both(reference):
+            rec = aligner.align_read(
+                np.array([], dtype=np.uint8), "empty"
+            )
+            assert rec.is_unmapped
+            assert rec.qname == "empty"
+
+    def test_zero_length_read_identical_records(self, reference):
+        full, seedex = self._both(reference)
+        empty = np.array([], dtype=np.uint8)
+        a = full.align_read(empty, "empty")
+        b = seedex.align_read(empty, "empty")
+        assert a.to_line() == b.to_line()
+
+    def test_read_longer_than_reference(self):
+        rng = np.random.default_rng(13)
+        tiny = synthesize_reference(200, rng)
+        read = np.concatenate([tiny, tiny, tiny[:50]]).astype(np.uint8)
+        for aligner in self._both(tiny):
+            rec = aligner.align_read(read, "giant")
+            assert rec.qname == "giant"  # no crash, mapped or not
+
+    def test_read_longer_than_reference_identical_records(self):
+        rng = np.random.default_rng(14)
+        tiny = synthesize_reference(300, rng)
+        read = np.concatenate([tiny, tiny[:120]]).astype(np.uint8)
+        full, seedex = self._both(tiny)
+        a = full.align_read(read, "giant")
+        b = seedex.align_read(read, "giant")
+        assert a.to_line() == b.to_line()
+
+    def test_all_n_read(self, reference):
+        all_n = np.full(101, AMBIGUOUS_CODE, dtype=np.uint8)
+        records = []
+        for aligner in self._both(reference):
+            rec = aligner.align_read(all_n, "allN")
+            assert rec.is_unmapped  # N never matches: nothing to seed
+            assert rec.seq == "N" * 101
+            records.append(rec)
+        assert records[0].to_line() == records[1].to_line()
+
+    def test_adversarial_batch_identical_across_engines(self, reference):
+        """The degenerate shapes, run as one batch through diff_records."""
+        empty = np.array([], dtype=np.uint8)
+        all_n = np.full(101, AMBIGUOUS_CODE, dtype=np.uint8)
+        single = np.array([2], dtype=np.uint8)
+        reads = [
+            ("empty", empty),
+            ("allN", all_n),
+            ("single", single),
+            ("normal", reference[1000:1101].copy()),
+        ]
+        full, seedex = self._both(reference)
+        a = [full.align_read(c, n) for n, c in reads]
+        b = [seedex.align_read(c, n) for n, c in reads]
+        assert diff_records(a, b) == 0
