@@ -55,7 +55,10 @@ class ExtensionResult:
     boundary_e: np.ndarray
     cells_computed: int
     terminated_early: bool
-    boundary_f: np.ndarray = None  # set by __post_init__ when omitted
+    boundary_f: np.ndarray | None = None
+    """Upper-boundary F caps; ``None`` only transiently at construction
+    — ``__post_init__`` replaces it with a zero array of the right
+    length, so consumers always see an ``np.ndarray``."""
 
     def __post_init__(self) -> None:
         if self.boundary_f is None:

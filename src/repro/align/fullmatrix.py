@@ -109,6 +109,200 @@ def fill_extension(
     return DenseMatrices(h, e, f, lscore, lpos, gscore, gpos, max_off)
 
 
+def _substitution_table(
+    scoring: AffineGap, max_code: int
+) -> np.ndarray:
+    """Dense ``(code, code) -> score`` lookup built from the scoring
+    scheme's own :meth:`~repro.align.scoring.AffineGap.substitution`,
+    so vectorized fills cannot drift from the scalar oracle."""
+    size = max_code + 1
+    table = np.empty((size, size), dtype=np.int64)
+    for a in range(size):
+        for b in range(size):
+            table[a, b] = scoring.substitution(a, b)
+    return table
+
+
+def _scan_scores_vectorized(
+    h: np.ndarray, h0: int
+) -> tuple[int, tuple[int, int], int, int, int]:
+    """Vectorized :func:`scan_scores` (same accumulator semantics).
+
+    Each row contributes at most one update — its max at the first
+    column achieving it, taken only when it strictly beats the running
+    best — exactly like the scalar loop, so ties resolve identically.
+    """
+    qlen = h.shape[1] - 1
+    row_best = h.max(axis=1)
+    row_arg = h.argmax(axis=1)
+    running = np.maximum.accumulate(np.maximum(row_best, h0))
+    prev = np.empty_like(running)
+    prev[0] = h0
+    prev[1:] = running[:-1]
+    improved = np.flatnonzero(row_best > prev)
+    if improved.size:
+        last = int(improved[-1])
+        lscore = int(row_best[last])
+        lpos = (last, int(row_arg[last]))
+        max_off = int(np.abs(row_arg[improved] - improved).max())
+    else:
+        lscore, lpos, max_off = h0, (0, 0), 0
+    col = h[:, qlen]
+    gscore = int(col.max())
+    if gscore > 0:
+        gpos = int(col.argmax())
+    else:
+        gscore, gpos = 0, -1
+    return lscore, lpos, gscore, gpos, max_off
+
+
+_BATCH_MAX_CELLS = 2_000_000
+"""Cells per lockstep fill chunk; bounds peak matrix memory."""
+
+
+def fill_extension_batch(
+    queries: list[np.ndarray],
+    targets: list[np.ndarray],
+    scoring: AffineGap,
+    h0s: list[int],
+    max_cells: int = _BATCH_MAX_CELLS,
+) -> list[DenseMatrices]:
+    """Fill many extension matrices in lockstep (host traceback wave).
+
+    The paper's host runs traceback for each read's winning extension
+    only; the batched pipeline collects those winners into one wave
+    and fills all their dense matrices together, vectorizing across
+    jobs x columns.  Per-job H/E/F channels and derived scores are
+    bit-identical to :func:`fill_extension` (property-tested in
+    ``tests/align/test_fullmatrix_batch.py``); jobs are chunked so no
+    more than ``max_cells`` padded cells are in flight at once.
+    """
+    n = len(queries)
+    if not (n == len(targets) == len(h0s)):
+        raise ValueError("queries, targets, h0s must align")
+    out: list[DenseMatrices] = []
+    start = 0
+    while start < n:
+        stop = start + 1
+        max_q = len(queries[start]) + 1
+        max_t = len(targets[start]) + 1
+        while stop < n:
+            grow_q = max(max_q, len(queries[stop]) + 1)
+            grow_t = max(max_t, len(targets[stop]) + 1)
+            if (stop + 1 - start) * grow_q * grow_t > max_cells:
+                break
+            max_q, max_t = grow_q, grow_t
+            stop += 1
+        out.extend(
+            _fill_chunk(
+                queries[start:stop],
+                targets[start:stop],
+                scoring,
+                h0s[start:stop],
+            )
+        )
+        start = stop
+    return out
+
+
+def _fill_chunk(
+    queries: list[np.ndarray],
+    targets: list[np.ndarray],
+    scoring: AffineGap,
+    h0s: list[int],
+) -> list[DenseMatrices]:
+    """One lockstep fill over jobs padded to a shared matrix shape.
+
+    Padded cells sit strictly right of / below every job's real
+    matrix, and the recurrence only looks left and up, so they can
+    never influence a real cell; each job's channels are sliced back
+    out at the end.
+    """
+    for h0 in h0s:
+        if h0 < 0:
+            raise ValueError("h0 must be non-negative")
+    n = len(queries)
+    qlens = np.array([len(q) for q in queries], dtype=np.int64)
+    tlens = np.array([len(t) for t in targets], dtype=np.int64)
+    max_q = int(qlens.max())
+    max_t = int(tlens.max())
+    go = scoring.gap_open
+    ge_i = scoring.gap_extend_ins
+    ge_d = scoring.gap_extend_del
+
+    qpad = np.zeros((n, max(1, max_q)), dtype=np.int64)
+    tpad = np.zeros((n, max(1, max_t)), dtype=np.int64)
+    for k, (q, t) in enumerate(zip(queries, targets)):
+        qpad[k, : len(q)] = q
+        tpad[k, : len(t)] = t
+    max_code = int(max(qpad.max(initial=0), tpad.max(initial=0)))
+    sub_table = _substitution_table(scoring, max_code)
+    h0v = np.array(h0s, dtype=np.int64)
+
+    big_h = np.zeros((n, max_t + 1, max_q + 1), dtype=np.int64)
+    big_e = np.zeros((n, max_t + 1, max_q + 1), dtype=np.int64)
+    big_f = np.zeros((n, max_t + 1, max_q + 1), dtype=np.int64)
+
+    cols = np.arange(max_q + 1, dtype=np.int64)
+    if max_q:
+        row0 = np.maximum(0, h0v[:, None] - go - cols[None, 1:] * ge_i)
+        big_f[:, 0, 1:] = row0
+        big_h[:, 0, 1:] = row0
+    big_h[:, 0, 0] = h0v
+    if max_t:
+        rows = np.arange(1, max_t + 1, dtype=np.int64)
+        col0 = np.maximum(0, h0v[:, None] - go - rows[None, :] * ge_d)
+        big_e[:, 1:, 0] = col0
+        big_h[:, 1:, 0] = col0
+
+    for i in range(1, max_t + 1):
+        h_prev = big_h[:, i - 1, :]
+        e_prev = big_e[:, i - 1, :]
+        init = big_h[:, i, 0]
+
+        e_row = np.maximum(0, np.maximum(h_prev - go, e_prev) - ge_d)
+        e_row[:, 0] = init
+
+        # G = the non-F part of H: diagonal (dead predecessors stay
+        # dead) vs the E channel; column 0 is the init value.
+        sub = sub_table[tpad[:, i - 1][:, None], qpad]
+        g = np.empty((n, max_q + 1), dtype=np.int64)
+        g[:, 0] = init
+        g[:, 1:] = np.maximum(
+            np.where(h_prev[:, :-1] > 0, h_prev[:, :-1] + sub, 0),
+            e_row[:, 1:],
+        )
+
+        # F channel as a running max-plus scan over G.  Exact, not
+        # just dominant: f[j] = max(0, max_{k<j} G[k] - go - (j-k)*ge)
+        # is the closed form of the per-cell recurrence because the
+        # 0-clamp and the H-vs-F max both collapse (see banded.extend).
+        run = np.maximum.accumulate(g - go + cols[None, :] * ge_i, axis=1)
+        f_row = big_f[:, i, :]
+        f_row[:, 1:] = np.maximum(0, run[:, :-1] - cols[None, 1:] * ge_i)
+        f_row[:, 0] = 0
+
+        h_row = np.maximum(np.maximum(g, f_row), 0)
+        h_row[:, 0] = init
+        big_e[:, i, :] = e_row
+        big_h[:, i, :] = h_row
+
+    out: list[DenseMatrices] = []
+    for k in range(n):
+        tl = int(tlens[k])
+        ql = int(qlens[k])
+        h = big_h[k, : tl + 1, : ql + 1].copy()
+        e = big_e[k, : tl + 1, : ql + 1].copy()
+        f = big_f[k, : tl + 1, : ql + 1].copy()
+        lscore, lpos, gscore, gpos, max_off = _scan_scores_vectorized(
+            h, int(h0v[k])
+        )
+        out.append(
+            DenseMatrices(h, e, f, lscore, lpos, gscore, gpos, max_off)
+        )
+    return out
+
+
 def scan_scores(
     h: np.ndarray, h0: int, qlen: int, match: int
 ) -> tuple[int, tuple[int, int], int, int, int]:
@@ -271,6 +465,22 @@ def traceback_extension(
     ``[0, i)``; any unconsumed query suffix is the caller's to soft-clip.
     """
     mats = fill_extension(query, target, scoring, h0)
+    return traceback_path(mats, query, target, scoring, end)
+
+
+def traceback_path(
+    mats: DenseMatrices,
+    query: np.ndarray,
+    target: np.ndarray,
+    scoring: AffineGap,
+    end: tuple[int, int],
+) -> Cigar:
+    """Walk an already-filled matrix from the origin to ``end``.
+
+    Split out of :func:`traceback_extension` so the batched pipeline
+    can fill a whole wave of winners' matrices in lockstep
+    (:func:`fill_extension_batch`) and then walk each one here.
+    """
     i, j = end
     if not (0 <= i <= mats.tlen and 0 <= j <= mats.qlen):
         raise ValueError("traceback endpoint out of range")

@@ -1,16 +1,22 @@
 """The end-to-end BWA-MEM-style aligner with pluggable extension."""
 
+from repro.aligner.cache import ExtensionCache
 from repro.aligner.engines import (
+    BatchedEngine,
     FullBandEngine,
     PlainBandedEngine,
     SeedExEngine,
 )
 from repro.aligner.longread import LongReadAligner
 from repro.aligner.paired import InsertSizeModel, PairedAligner, ReadPair
+from repro.aligner.parallel import EngineSpec, align_sharded
 from repro.aligner.pipeline import Aligner
 
 __all__ = [
     "Aligner",
+    "BatchedEngine",
+    "EngineSpec",
+    "ExtensionCache",
     "FullBandEngine",
     "InsertSizeModel",
     "LongReadAligner",
@@ -18,4 +24,5 @@ __all__ = [
     "PlainBandedEngine",
     "ReadPair",
     "SeedExEngine",
+    "align_sharded",
 ]

@@ -1,0 +1,80 @@
+"""Extension-result cache: duplicate jobs are computed once.
+
+Reads piling onto the same locus produce byte-identical extension
+jobs — same query fragment, same reference window, same seed score.
+The kernels are pure functions of ``(query, target, h0, band)``, so a
+result computed once can be replayed for every duplicate without any
+risk to the bit-identity contract (property-tested in
+``tests/aligner/test_batched_engine.py``).
+
+The cache is a bounded LRU keyed on the raw bytes of both sequences
+plus the scalar job parameters.  :class:`~repro.align.banded.ExtensionResult`
+is a frozen dataclass whose array fields are never mutated by
+consumers, so sharing one instance across hits is safe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.align.banded import ExtensionResult
+
+DEFAULT_MAX_ENTRIES = 65_536
+"""Default cache capacity; one entry holds a few hundred bytes."""
+
+CacheKey = tuple[bytes, bytes, int, "int | None"]
+"""The identity of one extension job: query/target bytes, h0, band."""
+
+
+def job_key(
+    query: np.ndarray, target: np.ndarray, h0: int, band: int | None
+) -> CacheKey:
+    """The cache key for one ``(query, target, h0, band)`` job."""
+    return (
+        np.asarray(query).tobytes(),
+        np.asarray(target).tobytes(),
+        int(h0),
+        band,
+    )
+
+
+class ExtensionCache:
+    """A bounded LRU of :class:`ExtensionResult` keyed by job identity."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs room for at least one entry")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._store: OrderedDict[CacheKey, ExtensionResult] = OrderedDict()
+
+    def __len__(self) -> int:
+        """Number of cached results."""
+        return len(self._store)
+
+    def get(self, key: CacheKey) -> ExtensionResult | None:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        result = self._store.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put(self, key: CacheKey, result: ExtensionResult) -> None:
+        """Cache ``result`` under ``key``, evicting the oldest entry
+        when full."""
+        self._store[key] = result
+        self._store.move_to_end(key)
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and zero the hit/miss accounting."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0

@@ -21,20 +21,26 @@ import numpy as np
 from repro import obs
 from repro.align import banded
 from repro.align.banded import ExtensionResult
+from repro.align.batchdp import extend_batch
 from repro.align.scoring import BWA_MEM_SCORING, AffineGap
+from repro.aligner.cache import (
+    DEFAULT_MAX_ENTRIES,
+    ExtensionCache,
+    job_key,
+)
 from repro.core.checker import CheckConfig
 from repro.core.extender import SeedExtender
 from repro.obs import names
 from repro.obs.metrics import MetricsRegistry
 
 
-def _account(name: str, cells: int) -> None:
+def _account(name: str, cells: int, jobs: int = 1) -> None:
     """Per-engine counters in the global registry (when enabled)."""
     if obs.enabled():
         reg = obs.get_registry()
         reg.counter(
             names.ENGINE_EXTENSIONS, "extensions served", engine=name
-        ).inc()
+        ).inc(jobs)
         reg.counter(
             names.ENGINE_CELLS, "DP cells filled", engine=name
         ).inc(cells)
@@ -91,6 +97,118 @@ class PlainBandedEngine:
         self.cells += res.cells_computed
         _account(self.name, res.cells_computed)
         return res
+
+
+class BatchedEngine:
+    """Wave-dispatched kernel: whole job batches in lockstep.
+
+    The accelerator consumes thousands of independent extensions at a
+    time (paper Section V-B); this engine is the software analogue.
+    :meth:`extend_wave` pushes a whole wave of ``(query, target, h0)``
+    jobs through the lockstep kernel (:mod:`repro.align.batchdp`),
+    vectorizing across jobs x columns, with per-job results bit-equal
+    to the scalar kernel (``banded.extend(..., prune=False)``) —
+    property-tested in ``tests/aligner/test_batched_engine.py``.
+
+    With the default ``band=None`` every job runs the full band, so
+    SAM output through this engine is byte-identical to
+    :class:`FullBandEngine`; a fixed ``band`` makes it the batched
+    analogue of :class:`PlainBandedEngine` (no checks — unsound).
+
+    A bounded LRU :class:`~repro.aligner.cache.ExtensionCache` dedups
+    byte-identical jobs (reads piling on one locus), both within one
+    wave and across waves; ``cache_entries=0`` disables it.  The
+    scalar :meth:`extend` path shares the same cache, so the engine
+    still satisfies the :class:`ExtensionEngine` protocol when driven
+    one job at a time (e.g. behind the resilience dispatcher).
+    """
+
+    def __init__(
+        self,
+        band: int | None = None,
+        scoring: AffineGap = BWA_MEM_SCORING,
+        cache_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        if band is not None and band < 1:
+            raise ValueError("band must be at least 1 (or None)")
+        self.name = "batched-full" if band is None else f"batched-w{band}"
+        self.band = band
+        self.scoring = scoring
+        self.cache = (
+            ExtensionCache(cache_entries) if cache_entries else None
+        )
+        self.extensions = 0
+        self.cells = 0
+
+    def _cache_get(self, key) -> ExtensionResult | None:
+        if self.cache is None:
+            return None
+        hit = self.cache.get(key)
+        if obs.enabled():
+            name = (
+                names.PIPELINE_BATCH_CACHE_HITS
+                if hit is not None
+                else names.PIPELINE_BATCH_CACHE_MISSES
+            )
+            obs.get_registry().counter(
+                name, "extension-result cache lookups"
+            ).inc()
+        return hit
+
+    def extend(self, query, target, h0) -> ExtensionResult:
+        """One job through the scalar kernel (cache-backed)."""
+        self.extensions += 1
+        key = job_key(query, target, h0, self.band)
+        hit = self._cache_get(key)
+        if hit is not None:
+            _account(self.name, 0)
+            return hit
+        res = banded.extend(query, target, self.scoring, h0, w=self.band)
+        if self.cache is not None:
+            self.cache.put(key, res)
+        self.cells += res.cells_computed
+        _account(self.name, res.cells_computed)
+        return res
+
+    def extend_wave(self, jobs) -> list[ExtensionResult]:
+        """Run a wave of ``(query, target, h0)`` jobs in lockstep.
+
+        Results come back in job order.  Duplicate jobs — equal query
+        bytes, target bytes, ``h0`` — are computed once per wave and
+        answered from the cache thereafter.
+        """
+        results: list[ExtensionResult | None] = [None] * len(jobs)
+        pending: dict[tuple, list[int]] = {}
+        for k, (query, target, h0) in enumerate(jobs):
+            key = job_key(query, target, h0, self.band)
+            hit = self._cache_get(key)
+            if hit is not None:
+                results[k] = hit
+            else:
+                pending.setdefault(key, []).append(k)
+        self.extensions += len(jobs)
+        if pending:
+            unique = [jobs[owners[0]] for owners in pending.values()]
+            with obs.span(names.SPAN_EXTEND_BATCH, jobs=len(unique)):
+                computed = extend_batch(
+                    [q for q, _, _ in unique],
+                    [t for _, t, _ in unique],
+                    [h0 for _, _, h0 in unique],
+                    self.scoring,
+                    w=self.band,
+                )
+            cells = 0
+            for (key, owners), res in zip(pending.items(), computed):
+                if self.cache is not None:
+                    self.cache.put(key, res)
+                cells += res.cells_computed
+                for k in owners:
+                    results[k] = res
+            self.cells += cells
+            _account(self.name, cells, jobs=0)
+        if obs.enabled() and jobs:
+            _account(self.name, 0, jobs=len(jobs))
+        return results
 
 
 class SeedExEngine:

@@ -1,0 +1,237 @@
+"""Sharded multi-process alignment: partition reads across workers.
+
+Reads are split into contiguous shards, one per worker process; each
+worker holds the whole reference and its seeding index read-only (on
+fork platforms the parent builds them once and children inherit the
+pages copy-on-write) and drives its shard through the deferred-
+extension wave scheduler (:mod:`repro.aligner.waves`).  Results come
+back tagged with their shard index and are re-concatenated in input
+order, so the merged SAM is byte-identical to a single-process run —
+the differential suite pins scalar x batched x worker counts to one
+output.
+
+Observability: each worker zeroes its (inherited) registry, collects
+its own measurements, and ships a snapshot back with its records; the
+parent folds every snapshot into the live registry via
+:meth:`~repro.obs.metrics.MetricsRegistry.absorb_snapshot` and adds
+``pipeline.shard.*`` accounting on top.  Span traces stay worker-local
+(timelines are not mergeable across processes).
+
+Engines cannot be pickled (they hold caches, RNGs, registries), so
+workers receive an :class:`EngineSpec` — a frozen, picklable recipe —
+and build their own engine from it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.aligner.cache import DEFAULT_MAX_ENTRIES
+from repro.aligner.waves import DEFAULT_BATCH_SIZE
+from repro.genome.sam import SamRecord
+from repro.obs import names
+
+_STATE = None
+"""Worker-process aligner; pre-built by the parent on fork platforms."""
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A picklable recipe for building an extension engine.
+
+    ``kind`` selects the engine class (``full``, ``banded``,
+    ``batched``, ``seedex``); ``band`` is required for ``banded``,
+    optional for ``batched`` (``None`` = full band) and ``seedex``.
+    The chaos fields mirror the CLI's ``--chaos`` flags: with
+    ``chaos=True`` the built engine is wrapped in the fault-injecting
+    resilient dispatcher, each worker running its own injector (same
+    seed, disjoint job streams).
+    """
+
+    kind: str = "full"
+    band: int | None = None
+    cache_entries: int = DEFAULT_MAX_ENTRIES
+    chaos: bool = False
+    fault_rate: float = 0.01
+    fault_seed: int = 0
+    max_retries: int = 3
+    timeout_s: float = 0.25
+
+    def build(self):
+        """Construct the engine (plus chaos wrapper) this spec names."""
+        from repro.aligner.engines import (
+            BatchedEngine,
+            FullBandEngine,
+            PlainBandedEngine,
+            SeedExEngine,
+            make_resilient,
+        )
+
+        registry = obs.get_registry() if obs.enabled() else None
+        if self.kind == "full":
+            engine = FullBandEngine()
+        elif self.kind == "banded":
+            if self.band is None:
+                raise ValueError("kind='banded' needs a band")
+            engine = PlainBandedEngine(self.band)
+        elif self.kind == "batched":
+            engine = BatchedEngine(
+                band=self.band, cache_entries=self.cache_entries
+            )
+        elif self.kind == "seedex":
+            engine = SeedExEngine(
+                band=self.band if self.band is not None else 41,
+                registry=registry,
+            )
+        else:
+            raise ValueError(f"unknown engine kind {self.kind!r}")
+        if not self.chaos:
+            return engine
+        return make_resilient(
+            engine,
+            fault_rate=self.fault_rate,
+            fault_seed=self.fault_seed,
+            max_retries=self.max_retries,
+            timeout_s=self.timeout_s,
+            registry=registry,
+        )
+
+
+def _build_aligner(reference, spec: EngineSpec, options: dict):
+    """One worker's aligner: engine from the spec, index from scratch."""
+    from repro.aligner.pipeline import Aligner
+
+    return Aligner(reference, spec.build(), **options)
+
+
+def _init_worker(reference, spec, options, collect) -> None:
+    """Pool initializer: adopt the forked state or build a fresh one."""
+    global _STATE
+    if collect and not obs.enabled():
+        obs.enable()
+    if _STATE is None:
+        _STATE = _build_aligner(reference, spec, options)
+
+
+def _run_shard(task):
+    """Align one shard in a worker; returns records + a metrics snapshot.
+
+    The inherited registry still holds the parent's pre-fork counts,
+    so it is zeroed before the shard runs — the snapshot shipped back
+    contains exactly this shard's measurements.
+    """
+    index, reads, batch_size, collect = task
+    if collect:
+        obs.reset()
+    records = _STATE.align_batched(reads, batch_size=batch_size)
+    snapshot = obs.get_registry().snapshot() if collect else None
+    return index, records, snapshot
+
+
+def _shard_plan(count: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous, near-equal ``(start, stop)`` slices, one per shard."""
+    base, extra = divmod(count, workers)
+    plan: list[tuple[int, int]] = []
+    start = 0
+    for shard in range(workers):
+        stop = start + base + (1 if shard < extra else 0)
+        plan.append((start, stop))
+        start = stop
+    return plan
+
+
+def align_sharded(
+    reference: np.ndarray,
+    reads,
+    spec: EngineSpec | None = None,
+    workers: int = 2,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    **aligner_options,
+) -> list[SamRecord]:
+    """Align ``reads`` across ``workers`` processes, input order kept.
+
+    ``reads`` may be ``(name, codes)`` pairs or ``SimulatedRead``-like
+    objects; ``aligner_options`` are forwarded to
+    :class:`~repro.aligner.pipeline.Aligner` (``seeding``,
+    ``reference_name``, ...).  ``workers=1`` runs in-process with no
+    multiprocessing at all.  Output is byte-identical to
+    ``Aligner.align`` with the same engine configuration.
+    """
+    global _STATE
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    spec = spec or EngineSpec()
+    normalized = [
+        (read.name, np.asarray(read.codes, dtype=np.uint8))
+        if hasattr(read, "codes")
+        else (read[0], np.asarray(read[1], dtype=np.uint8))
+        for read in reads
+    ]
+    workers = max(1, min(workers, len(normalized)))
+    collect = obs.enabled()
+
+    if workers == 1:
+        aligner = _build_aligner(reference, spec, aligner_options)
+        records = aligner.align_batched(normalized, batch_size=batch_size)
+        _note_shards(collect, [len(normalized)], merged=0)
+        return records
+
+    plan = _shard_plan(len(normalized), workers)
+    tasks = [
+        (i, normalized[start:stop], batch_size, collect)
+        for i, (start, stop) in enumerate(plan)
+    ]
+
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+    forked = ctx.get_start_method() == "fork"
+    if forked:
+        # Build once in the parent; children inherit the reference and
+        # seeding index copy-on-write instead of rebuilding per worker.
+        _STATE = _build_aligner(reference, spec, aligner_options)
+    try:
+        with ctx.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(reference, spec, aligner_options, collect),
+        ) as pool:
+            results = pool.map(_run_shard, tasks)
+    finally:
+        _STATE = None
+
+    results.sort(key=lambda item: item[0])
+    records = [rec for _, shard_records, _ in results for rec in shard_records]
+    merged = 0
+    if collect:
+        registry = obs.get_registry()
+        for _, _, snapshot in results:
+            if snapshot is not None:
+                registry.absorb_snapshot(snapshot)
+                merged += 1
+    _note_shards(collect, [stop - start for start, stop in plan], merged)
+    return records
+
+
+def _note_shards(collect: bool, shard_sizes: list[int], merged: int) -> None:
+    """Parent-side ``pipeline.shard.*`` accounting after a run."""
+    if not collect:
+        return
+    registry = obs.get_registry()
+    registry.gauge(
+        names.PIPELINE_SHARD_WORKERS, "workers in the last sharded run"
+    ).set(len(shard_sizes))
+    for shard, size in enumerate(shard_sizes):
+        registry.counter(
+            names.PIPELINE_SHARD_READS,
+            "reads dispatched to shards",
+            shard=shard,
+        ).inc(size)
+    if merged:
+        registry.counter(
+            names.PIPELINE_SHARD_SNAPSHOTS_MERGED,
+            "worker metric snapshots folded into the parent registry",
+        ).inc(merged)

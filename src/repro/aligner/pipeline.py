@@ -24,7 +24,7 @@ import numpy as np
 
 from repro import obs
 from repro.align.cigar import Cigar
-from repro.align.fullmatrix import traceback_extension
+from repro.align.fullmatrix import fill_extension, traceback_path
 from repro.align.scoring import AffineGap
 from repro.aligner.engines import ExtensionEngine, FullBandEngine
 from repro.faults.errors import DeadLetterError
@@ -107,50 +107,60 @@ class Aligner:
 
     # -- extension --------------------------------------------------------
 
-    def _extend_chain(
-        self, query: np.ndarray, chain: Chain, reverse: bool
-    ) -> "AlignmentCandidate | str | None":
-        """Extend one chain; ``DEGRADED`` when the engine dead-letters."""
-        ref = self.reference
-        seed = chain.anchor
-        seed_len = seed.length
-        h0 = seed_len * self.scoring.match
+    def _left_job(
+        self, query: np.ndarray, chain: Chain
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """The chain's left extension job: ``(lq, lt, h0)``.
 
-        # Left extension: reversed prefixes so the kernel extends
-        # rightward in its own coordinates.
+        Left extensions run on reversed prefixes so the kernel extends
+        rightward in its own coordinates.  Shared by the scalar path
+        and the wave scheduler so job geometry cannot drift.
+        """
+        seed = chain.anchor
+        h0 = seed.length * self.scoring.match
         lq = query[: seed.qbegin][::-1].copy()
         lt_lo = max(0, seed.rbegin - len(lq) - self.band_margin)
-        lt = ref[lt_lo : seed.rbegin][::-1].copy()
-        if len(lq):
-            try:
-                lres = self.engine.extend(lq, lt, h0)
-            except DeadLetterError:
-                return DEGRADED
-            l_end, l_score, clip_left = _resolve_end(lres, h0)
-            if l_end == (0, 0) and l_score <= 0:
-                return None
-        else:
-            lres = None
-            l_end, l_score, clip_left = (0, 0), h0, 0
+        lt = self.reference[lt_lo : seed.rbegin][::-1].copy()
+        return lq, lt, h0
 
-        # Right extension continues with the accumulated score.
+    def _right_job(
+        self, query: np.ndarray, chain: Chain
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The chain's right extension job geometry: ``(rq, rt)``.
+
+        The right job's ``h0`` is the left extension's result (BWA-MEM
+        threads the score), so it is supplied at dispatch time.
+        """
+        seed = chain.anchor
         rq = query[seed.qend :].copy()
-        seed_rend = seed.rbegin + seed_len
-        rt_hi = min(len(ref), seed_rend + len(rq) + self.band_margin)
-        rt = ref[seed_rend:rt_hi].copy()
-        if len(rq):
-            try:
-                rres = self.engine.extend(rq, rt, l_score)
-            except DeadLetterError:
-                return DEGRADED
-            r_end, final, clip_right = _resolve_end(rres, l_score)
-        else:
-            r_end, final, clip_right = (0, 0), l_score, 0
+        seed_rend = seed.rbegin + seed.length
+        rt_hi = min(
+            len(self.reference), seed_rend + len(rq) + self.band_margin
+        )
+        rt = self.reference[seed_rend:rt_hi].copy()
+        return rq, rt
 
-        pos = seed.rbegin - l_end[0]
+    def _make_candidate(
+        self,
+        chain: Chain,
+        reverse: bool,
+        lq: np.ndarray,
+        lt: np.ndarray,
+        h0: int,
+        l_end: tuple[int, int],
+        l_score: int,
+        clip_left: int,
+        rq: np.ndarray,
+        rt: np.ndarray,
+        r_end: tuple[int, int],
+        final: int,
+        clip_right: int,
+    ) -> AlignmentCandidate:
+        """Assemble the candidate from resolved left/right extensions."""
+        seed = chain.anchor
         return AlignmentCandidate(
             score=final,
-            pos=pos,
+            pos=seed.rbegin - l_end[0],
             reverse=reverse,
             chain=chain,
             left_query=lq,
@@ -161,9 +171,41 @@ class Aligner:
             right_target=rt,
             right_h0=l_score,
             right_end=r_end,
-            seed_len=seed_len,
+            seed_len=seed.length,
             clip_left=clip_left,
             clip_right=clip_right,
+        )
+
+    def _extend_chain(
+        self, query: np.ndarray, chain: Chain, reverse: bool
+    ) -> "AlignmentCandidate | str | None":
+        """Extend one chain; ``DEGRADED`` when the engine dead-letters."""
+        lq, lt, h0 = self._left_job(query, chain)
+        if len(lq):
+            try:
+                lres = self.engine.extend(lq, lt, h0)
+            except DeadLetterError:
+                return DEGRADED
+            l_end, l_score, clip_left = _resolve_end(lres, h0)
+            if l_end == (0, 0) and l_score <= 0:
+                return None
+        else:
+            l_end, l_score, clip_left = (0, 0), h0, 0
+
+        # Right extension continues with the accumulated score.
+        rq, rt = self._right_job(query, chain)
+        if len(rq):
+            try:
+                rres = self.engine.extend(rq, rt, l_score)
+            except DeadLetterError:
+                return DEGRADED
+            r_end, final, clip_right = _resolve_end(rres, l_score)
+        else:
+            r_end, final, clip_right = (0, 0), l_score, 0
+
+        return self._make_candidate(
+            chain, reverse, lq, lt, h0, l_end, l_score, clip_left,
+            rq, rt, r_end, final, clip_right,
         )
 
     # -- per-read alignment ------------------------------------------------
@@ -196,7 +238,52 @@ class Aligner:
                     n_degraded += 1
                 elif cand is not None:
                     candidates.append(cand)
+        return self._finalize_read(
+            codes, name, candidates, n_seeds, n_chains, n_degraded
+        )
 
+    def _finalize_read(
+        self,
+        codes: np.ndarray,
+        name: str,
+        candidates: "list[AlignmentCandidate]",
+        n_seeds: int,
+        n_chains: int,
+        n_degraded: int,
+    ) -> SamRecord:
+        """Best-candidate selection, traceback, and the SAM record.
+
+        Shared verbatim by the scalar path and the wave scheduler —
+        given the same candidate list (same order: forward chains then
+        reverse, in filter order) both produce the same record byte
+        for byte.
+        """
+        picked = self._select_candidate(
+            codes, name, candidates, n_seeds, n_chains, n_degraded
+        )
+        if isinstance(picked, SamRecord):
+            return picked
+        best, mapq = picked
+        with obs.span(names.SPAN_ALIGNER_TRACEBACK):
+            cigar = self._traceback(best)
+        return self._record(codes, name, best, mapq, cigar)
+
+    def _select_candidate(
+        self,
+        codes: np.ndarray,
+        name: str,
+        candidates: "list[AlignmentCandidate]",
+        n_seeds: int,
+        n_chains: int,
+        n_degraded: int,
+    ) -> "SamRecord | tuple[AlignmentCandidate, int]":
+        """Pick the read's winner (or emit its unmapped record).
+
+        Returns the finished :class:`SamRecord` for unmapped reads, or
+        ``(best, mapq)`` for mapped ones — traceback is the caller's
+        job, so the wave scheduler can batch the winners' matrix fills
+        across a whole window.
+        """
         if obs.enabled():
             reg = obs.get_registry()
             reg.counter(names.ALIGNER_READS_TOTAL, "reads aligned").inc()
@@ -225,19 +312,26 @@ class Aligner:
                     "reads unmapped by the degradation ladder",
                 ).inc()
 
-        seq = decode(codes)
         if not candidates:
             # Never crash on a dead-lettered extension: the read goes
             # out unmapped with the reason in a tag.
             tags = (DEGRADED_TAG,) if n_degraded else ()
-            return SamRecord.unmapped(name, seq, tags=tags)
+            return SamRecord.unmapped(name, decode(codes), tags=tags)
 
         candidates.sort(key=lambda c: (-c.score, c.reverse, c.pos))
         best = candidates[0]
         runner_up = candidates[1].score if len(candidates) > 1 else 0
-        mapq = _mapq(best.score, runner_up)
-        with obs.span(names.SPAN_ALIGNER_TRACEBACK):
-            cigar = self._traceback(best)
+        return best, _mapq(best.score, runner_up)
+
+    def _record(
+        self,
+        codes: np.ndarray,
+        name: str,
+        best: AlignmentCandidate,
+        mapq: int,
+        cigar: Cigar,
+    ) -> SamRecord:
+        """The mapped SAM record for a selected, traced-back winner."""
         flag = FLAG_REVERSE if best.reverse else 0
         return SamRecord(
             qname=name,
@@ -246,7 +340,7 @@ class Aligner:
             pos=best.pos,
             mapq=mapq,
             cigar=str(cigar),
-            seq=seq,
+            seq=decode(codes),
             tags=(f"AS:i:{best.score}",),
         )
 
@@ -261,30 +355,68 @@ class Aligner:
                 out.append(self.align_read(codes, name))
         return out
 
+    def align_batched(self, reads, batch_size: int = 4096) -> list[SamRecord]:
+        """Align reads through the deferred-extension wave scheduler.
+
+        Seeds and chains a window of reads, then dispatches all left
+        extensions as one lockstep wave and all right extensions as a
+        second wave (:mod:`repro.aligner.waves`).  Output is
+        byte-identical to :meth:`align`, record for record.
+        """
+        from repro.aligner.waves import align_batched
+
+        return align_batched(self, reads, batch_size=batch_size)
+
     # -- host-side traceback ------------------------------------------------
 
-    def _traceback(self, cand: AlignmentCandidate) -> Cigar:
+    def _traceback(
+        self,
+        cand: AlignmentCandidate,
+        left_mats=None,
+        right_mats=None,
+    ) -> Cigar:
         """Build the final CIGAR: traceback runs on the host, once, for
-        the winning extension only."""
+        the winning extension only.
+
+        ``left_mats``/``right_mats`` are optional pre-filled
+        :class:`~repro.align.fullmatrix.DenseMatrices` — the wave
+        scheduler fills a whole window's winners in lockstep and walks
+        each one here; when absent the matrices are filled on demand
+        (the scalar path).
+        """
         ops: list[tuple[int, str]] = []
         if cand.clip_left:
             ops.append((cand.clip_left, "S"))
         if cand.left_end != (0, 0):
-            left = traceback_extension(
+            if left_mats is None:
+                left_mats = fill_extension(
+                    cand.left_query,
+                    cand.left_target,
+                    self.scoring,
+                    cand.left_h0,
+                )
+            left = traceback_path(
+                left_mats,
                 cand.left_query,
                 cand.left_target,
                 self.scoring,
-                cand.left_h0,
                 cand.left_end,
             )
             ops.extend(left.reversed().ops)
         ops.append((cand.seed_len, "M"))
         if cand.right_end != (0, 0):
-            right = traceback_extension(
+            if right_mats is None:
+                right_mats = fill_extension(
+                    cand.right_query,
+                    cand.right_target,
+                    self.scoring,
+                    cand.right_h0,
+                )
+            right = traceback_path(
+                right_mats,
                 cand.right_query,
                 cand.right_target,
                 self.scoring,
-                cand.right_h0,
                 cand.right_end,
             )
             ops.extend(right.ops)

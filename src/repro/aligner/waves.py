@@ -1,0 +1,339 @@
+"""Deferred-extension wave scheduling: batch across reads, not rows.
+
+The scalar pipeline calls ``engine.extend()`` one chain at a time, so
+the 20-50x lockstep kernel (:mod:`repro.align.batchdp`) never sees a
+real batch.  This scheduler restores the accelerator's working set
+(paper Section V-B): it walks seed/chain for a whole *window* of
+reads, collects every left extension into one wave, dispatches the
+wave in lockstep, resolves the left endpoints, then dispatches every
+surviving right extension as a second wave — preserving BWA-MEM's
+``h0`` threading, where the right job's initial score is the left
+job's result.
+
+Semantics are byte-identical to the scalar path (the differential
+suite in ``tests/aligner/test_differential.py`` holds SAM output
+fixed across scalar/batched × worker counts):
+
+* job geometry comes from the same :class:`~repro.aligner.pipeline.Aligner`
+  helpers the scalar path uses;
+* a chain whose left extension dies (``l_end == (0, 0)`` with no
+  score) is dropped before the right wave, exactly as the scalar code
+  short-circuits;
+* candidates accumulate in scalar order — forward-orientation chains
+  then reverse, in chain-filter order — so tie-breaking in the final
+  sort is unchanged;
+* when the engine cannot take a wave (e.g. it is wrapped in the
+  chaos/resilience dispatcher, which is scalar by design), jobs fall
+  back to per-job dispatch and a dead-lettered job degrades **alone**
+  — its chain, not its whole wave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.align.fullmatrix import fill_extension_batch
+from repro.aligner.pipeline import (
+    DEGRADED,
+    AlignmentCandidate,
+    _resolve_end,
+)
+from repro.faults.errors import DeadLetterError
+from repro.genome.sam import SamRecord
+from repro.genome.sequence import reverse_complement
+from repro.obs import names
+from repro.seeding.chaining import chain_seeds, filter_chains
+
+DEFAULT_BATCH_SIZE = 4096
+"""Reads per scheduling window (the paper's batch geometry)."""
+
+
+@dataclass
+class _ReadState:
+    """Per-read bookkeeping while its chains move through the waves."""
+
+    name: str
+    codes: np.ndarray
+    n_seeds: int = 0
+    n_chains: int = 0
+    n_degraded: int = 0
+    chains: "list[_ChainState]" = field(default_factory=list)
+
+
+@dataclass
+class _ChainState:
+    """One chain's extension state across the left and right waves."""
+
+    read: _ReadState
+    reverse: bool
+    query: np.ndarray
+    chain: object
+    lq: np.ndarray
+    lt: np.ndarray
+    h0: int
+    l_end: tuple[int, int] = (0, 0)
+    l_score: int = 0
+    clip_left: int = 0
+    rq: np.ndarray | None = None
+    rt: np.ndarray | None = None
+    r_end: tuple[int, int] = (0, 0)
+    final: int = 0
+    clip_right: int = 0
+    dropped: bool = False
+    degraded: bool = False
+
+    @property
+    def alive(self) -> bool:
+        """Still a candidate: neither dropped nor degraded."""
+        return not (self.dropped or self.degraded)
+
+
+def _dispatch_wave(engine, jobs: list[tuple], side: str) -> list:
+    """Run one wave of jobs; returns a result (or ``DEGRADED``) per job.
+
+    Engines exposing ``extend_wave`` get the whole wave in one call
+    (the lockstep path); anything else — including the resilience
+    dispatcher — is driven job by job, where a ``DeadLetterError``
+    degrades only the job that raised it.
+    """
+    if not jobs:
+        return []
+    wave = getattr(engine, "extend_wave", None)
+    with obs.span(names.SPAN_PIPELINE_WAVE, side=side, jobs=len(jobs)):
+        if wave is not None:
+            results = wave(jobs)
+        else:
+            results = []
+            for query, target, h0 in jobs:
+                try:
+                    results.append(engine.extend(query, target, h0))
+                except DeadLetterError:
+                    results.append(DEGRADED)
+    if obs.enabled():
+        reg = obs.get_registry()
+        reg.counter(
+            names.PIPELINE_BATCH_WAVES, "extension waves", side=side
+        ).inc()
+        reg.counter(
+            names.PIPELINE_BATCH_JOBS, "wave jobs", side=side
+        ).inc(len(jobs))
+        reg.histogram(
+            names.PIPELINE_BATCH_WAVE_JOBS, "jobs per wave", side=side
+        ).observe(len(jobs))
+        degraded = sum(1 for r in results if r is DEGRADED)
+        if degraded:
+            reg.counter(
+                names.PIPELINE_BATCH_JOBS_DEGRADED,
+                "wave jobs dead-lettered individually",
+            ).inc(degraded)
+    return results
+
+
+def _collect_chains(aligner, window) -> tuple[list[_ReadState], list[_ChainState]]:
+    """Seed and chain every read of the window; build chain states."""
+    reads: list[_ReadState] = []
+    chains: list[_ChainState] = []
+    for name, codes in window:
+        codes = np.asarray(codes, dtype=np.uint8)
+        state = _ReadState(name=name, codes=codes)
+        reads.append(state)
+        for reverse in (False, True):
+            query = reverse_complement(codes) if reverse else codes
+            with obs.span(names.SPAN_ALIGNER_SEED):
+                seeds = aligner._seeds(query)
+            with obs.span(names.SPAN_ALIGNER_CHAIN):
+                kept = filter_chains(
+                    chain_seeds(seeds), max_chains=aligner.max_chains
+                )
+            state.n_seeds += len(seeds)
+            state.n_chains += len(kept)
+            for chain in kept:
+                lq, lt, h0 = aligner._left_job(query, chain)
+                cs = _ChainState(
+                    read=state,
+                    reverse=reverse,
+                    query=query,
+                    chain=chain,
+                    lq=lq,
+                    lt=lt,
+                    h0=h0,
+                )
+                state.chains.append(cs)
+                chains.append(cs)
+    return reads, chains
+
+
+def _run_left_wave(aligner, chains: list[_ChainState]) -> None:
+    """Dispatch all left extensions; resolve endpoints and drops."""
+    pending = [cs for cs in chains if len(cs.lq)]
+    results = _dispatch_wave(
+        aligner.engine, [(cs.lq, cs.lt, cs.h0) for cs in pending], "left"
+    )
+    for cs, res in zip(pending, results):
+        if res is DEGRADED:
+            cs.degraded = True
+            continue
+        cs.l_end, cs.l_score, cs.clip_left = _resolve_end(res, cs.h0)
+        if cs.l_end == (0, 0) and cs.l_score <= 0:
+            cs.dropped = True
+    for cs in chains:
+        if not len(cs.lq):
+            cs.l_end, cs.l_score, cs.clip_left = (0, 0), cs.h0, 0
+
+
+def _run_right_wave(aligner, chains: list[_ChainState]) -> None:
+    """Dispatch all surviving right extensions (``h0`` = left score)."""
+    pending: list[_ChainState] = []
+    for cs in chains:
+        if not cs.alive:
+            continue
+        cs.rq, cs.rt = aligner._right_job(cs.query, cs.chain)
+        if len(cs.rq):
+            pending.append(cs)
+        else:
+            cs.r_end, cs.final, cs.clip_right = (0, 0), cs.l_score, 0
+    results = _dispatch_wave(
+        aligner.engine,
+        [(cs.rq, cs.rt, cs.l_score) for cs in pending],
+        "right",
+    )
+    for cs, res in zip(pending, results):
+        if res is DEGRADED:
+            cs.degraded = True
+            continue
+        cs.r_end, cs.final, cs.clip_right = _resolve_end(res, cs.l_score)
+
+
+def _finalize_window(aligner, reads: list[_ReadState]) -> list[SamRecord]:
+    """Best-candidate selection, traceback wave, SAM records in order.
+
+    Selection runs per read exactly as the scalar path does; then the
+    winners' dense traceback matrices — the host-side step the paper
+    runs once per read — are filled together in one lockstep wave
+    (:func:`repro.align.fullmatrix.fill_extension_batch`) and each
+    winner's path is walked out of its own slice.
+    """
+    records: list[SamRecord | None] = []
+    winners: list[tuple[int, AlignmentCandidate, int]] = []
+    for state in reads:
+        candidates: list[AlignmentCandidate] = []
+        for cs in state.chains:
+            if cs.degraded:
+                state.n_degraded += 1
+            elif not cs.dropped:
+                candidates.append(
+                    aligner._make_candidate(
+                        cs.chain,
+                        cs.reverse,
+                        cs.lq,
+                        cs.lt,
+                        cs.h0,
+                        cs.l_end,
+                        cs.l_score,
+                        cs.clip_left,
+                        cs.rq,
+                        cs.rt,
+                        cs.r_end,
+                        cs.final,
+                        cs.clip_right,
+                    )
+                )
+        picked = aligner._select_candidate(
+            state.codes,
+            state.name,
+            candidates,
+            state.n_seeds,
+            state.n_chains,
+            state.n_degraded,
+        )
+        if isinstance(picked, SamRecord):
+            records.append(picked)
+        else:
+            best, mapq = picked
+            winners.append((len(records), best, mapq))
+            records.append(None)
+
+    # One dense-fill job per winning extension that needs a walk.
+    jobs: list[tuple[np.ndarray, np.ndarray, int]] = []
+    slots: list[tuple[int, str]] = []
+    for w, (_, best, _) in enumerate(winners):
+        if best.left_end != (0, 0):
+            jobs.append((best.left_query, best.left_target, best.left_h0))
+            slots.append((w, "left"))
+        if best.right_end != (0, 0):
+            jobs.append(
+                (best.right_query, best.right_target, best.right_h0)
+            )
+            slots.append((w, "right"))
+    mats: list[dict[str, object]] = [{} for _ in winners]
+    if jobs:
+        with obs.span(
+            names.SPAN_PIPELINE_WAVE, side="traceback", jobs=len(jobs)
+        ):
+            filled = fill_extension_batch(
+                [q for q, _, _ in jobs],
+                [t for _, t, _ in jobs],
+                aligner.scoring,
+                [h0 for _, _, h0 in jobs],
+            )
+        if obs.enabled():
+            reg = obs.get_registry()
+            reg.counter(
+                names.PIPELINE_BATCH_WAVES, "extension waves", side="traceback"
+            ).inc()
+            reg.counter(
+                names.PIPELINE_BATCH_JOBS, "wave jobs", side="traceback"
+            ).inc(len(jobs))
+            reg.histogram(
+                names.PIPELINE_BATCH_WAVE_JOBS, "jobs per wave", side="traceback"
+            ).observe(len(jobs))
+        for (w, side), dense in zip(slots, filled):
+            mats[w][side] = dense
+
+    for w, (slot, best, mapq) in enumerate(winners):
+        state = reads[slot]
+        with obs.span(names.SPAN_ALIGNER_TRACEBACK):
+            cigar = aligner._traceback(
+                best,
+                left_mats=mats[w].get("left"),
+                right_mats=mats[w].get("right"),
+            )
+        records[slot] = aligner._record(
+            state.codes, state.name, best, mapq, cigar
+        )
+    return records
+
+
+def align_window(aligner, window) -> list[SamRecord]:
+    """Align one window of ``(name, codes)`` reads via two waves."""
+    with obs.span(names.SPAN_PIPELINE_WINDOW, reads=len(window)):
+        reads, chains = _collect_chains(aligner, window)
+        _run_left_wave(aligner, chains)
+        _run_right_wave(aligner, chains)
+        return _finalize_window(aligner, reads)
+
+
+def align_batched(
+    aligner, reads, batch_size: int = DEFAULT_BATCH_SIZE
+) -> list[SamRecord]:
+    """Align ``reads`` window by window through the wave scheduler.
+
+    ``reads`` may be ``(name, codes)`` pairs or ``SimulatedRead``-like
+    objects.  Records come back in input order, byte-identical to
+    ``aligner.align(reads)``.
+    """
+    if batch_size < 1:
+        raise ValueError("batch size must be at least 1")
+    normalized = [
+        (read.name, read.codes) if hasattr(read, "codes") else read
+        for read in reads
+    ]
+    records: list[SamRecord] = []
+    for start in range(0, len(normalized), batch_size):
+        records.extend(
+            align_window(aligner, normalized[start : start + batch_size])
+        )
+    return records

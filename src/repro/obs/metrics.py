@@ -38,6 +38,23 @@ def _render_key(name: str, labels: Mapping[str, object]) -> str:
     return f"{name}{{{inner}}}"
 
 
+def _parse_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`_render_key`: ``name{k=v,...}`` -> (name, labels).
+
+    Label values come back as strings — good enough for re-keying a
+    registry, since :func:`_render_key` stringifies values anyway.
+    """
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key[:-1].partition("{")
+    labels: dict[str, str] = {}
+    for part in inner.split(","):
+        if part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
 class Counter:
     """A monotonically increasing count."""
 
@@ -289,10 +306,15 @@ class Histogram:
         }
         buckets["+inf"] = self._bucket_counts[-1]
         empty = self._count == 0
-        quantiles = {
-            f"p{int(q * 100)}": (None if empty else est.value())
-            for q, est in self._quantiles.items()
-        }
+        quantiles = {}
+        for q, est in self._quantiles.items():
+            value = None if empty else est.value()
+            # Absorbed observations bypass the streaming estimators
+            # (quantile sketches are not mergeable), so a non-empty
+            # histogram may still have an empty estimator.
+            if value is not None and math.isnan(value):
+                value = None
+            quantiles[f"p{int(q * 100)}"] = value
         return {
             "count": self._count,
             "sum": self._sum,
@@ -302,6 +324,29 @@ class Histogram:
             "buckets": buckets,
             "quantiles": quantiles,
         }
+
+    def absorb(self, snap: Mapping) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Counts, sums, extrema, and bucket totals merge exactly;
+        streaming quantile estimators cannot be merged and keep
+        reflecting only locally-observed values (rendered ``None``
+        when nothing was observed locally).  Bucket bounds that this
+        histogram does not know about land in the overflow bucket.
+        """
+        count = int(snap.get("count", 0))
+        if count == 0:
+            return
+        self._count += count
+        self._sum += float(snap.get("sum", 0.0))
+        if snap.get("min") is not None:
+            self._min = min(self._min, float(snap["min"]))
+        if snap.get("max") is not None:
+            self._max = max(self._max, float(snap["max"]))
+        mine = {f"{bound:g}": i for i, bound in enumerate(self.buckets)}
+        for key, n in (snap.get("buckets") or {}).items():
+            idx = mine.get(key, len(self.buckets))
+            self._bucket_counts[idx] += int(n)
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -382,6 +427,26 @@ class MetricsRegistry:
         """Zero every metric in place."""
         for _, _, obj in self:
             obj.reset()
+
+    def absorb_snapshot(self, snap: Mapping) -> None:
+        """Merge a :meth:`snapshot` from another registry into this one.
+
+        This is how a sharded run folds per-worker measurements back
+        into the parent process: counters add, gauges take the
+        incoming value (last-write-wins — shard-level levels are not
+        meaningfully summable), histograms merge via
+        :meth:`Histogram.absorb`.  Metrics the parent has never seen
+        are created on the fly from the snapshot keys.
+        """
+        for key, value in (snap.get("counters") or {}).items():
+            name, labels = _parse_key(key)
+            self.counter(name, **labels).inc(value)
+        for key, value in (snap.get("gauges") or {}).items():
+            name, labels = _parse_key(key)
+            self.gauge(name, **labels).set(value)
+        for key, hist_snap in (snap.get("histograms") or {}).items():
+            name, labels = _parse_key(key)
+            self.histogram(name, **labels).absorb(hist_snap)
 
     def to_json(self, indent: int | None = 2) -> str:
         """Serialize :meth:`snapshot` to a JSON string."""

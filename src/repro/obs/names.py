@@ -59,6 +59,12 @@ SPAN_ALIGNER_TRACEBACK = "aligner.traceback"
 SPAN_HOST_KERNEL = "host.kernel"
 """One software-kernel timing sweep (Figure 3 measurements)."""
 
+SPAN_PIPELINE_WINDOW = "pipeline.batch.window"
+"""One window of reads through the deferred-extension scheduler."""
+
+SPAN_PIPELINE_WAVE = "pipeline.batch.wave"
+"""One lockstep extension wave (labels: ``side``, ``jobs``)."""
+
 # -- counters -----------------------------------------------------------
 
 EXTENSIONS_TOTAL = "seedex.extensions.total"
@@ -121,6 +127,27 @@ RESILIENCE_FALLBACKS = "resilience.fallbacks.host"
 RESILIENCE_DEAD_LETTERS = "resilience.dead_letters.total"
 """Jobs that exhausted the whole degradation ladder."""
 
+PIPELINE_BATCH_WAVES = "pipeline.batch.waves"
+"""Extension waves dispatched by the scheduler (labels: ``side``)."""
+
+PIPELINE_BATCH_JOBS = "pipeline.batch.jobs"
+"""Extension jobs entering a wave (labels: ``side``)."""
+
+PIPELINE_BATCH_JOBS_DEGRADED = "pipeline.batch.jobs.degraded"
+"""Wave jobs that exhausted the resilience ladder individually."""
+
+PIPELINE_BATCH_CACHE_HITS = "pipeline.batch.cache.hits"
+"""Extension jobs answered from the result cache."""
+
+PIPELINE_BATCH_CACHE_MISSES = "pipeline.batch.cache.misses"
+"""Extension jobs that had to be computed (then cached)."""
+
+PIPELINE_SHARD_READS = "pipeline.shard.reads"
+"""Reads aligned per shard of a sharded run (labels: ``shard``)."""
+
+PIPELINE_SHARD_SNAPSHOTS_MERGED = "pipeline.shard.snapshots_merged"
+"""Per-worker metric snapshots folded into the parent registry."""
+
 # -- histograms ---------------------------------------------------------
 
 CELLS_PER_EXTENSION = "seedex.cells.per_extension"
@@ -134,6 +161,9 @@ ALIGNER_CHAINS_PER_READ = "aligner.chains.per_read"
 
 RESILIENCE_ATTEMPTS = "resilience.attempts.per_job"
 """Accelerator attempts one job needed before success/fallback."""
+
+PIPELINE_BATCH_WAVE_JOBS = "pipeline.batch.wave.jobs"
+"""Jobs carried by one wave (labels: ``side``)."""
 
 # -- gauges -------------------------------------------------------------
 
@@ -151,6 +181,9 @@ SYSTEM_BATCHES_FINISHED = "system.batches.finished"
 
 RESILIENCE_OVERHEAD = "resilience.overhead.fraction"
 """Measured dispatcher overhead with faults disabled (<1% target)."""
+
+PIPELINE_SHARD_WORKERS = "pipeline.shard.workers"
+"""Worker processes the sharded runner fanned out to."""
 
 
 def all_names() -> dict[str, str]:

@@ -60,20 +60,35 @@ class KmerIndex:
         """
         query = np.asarray(query, dtype=np.uint8)
         ref = self.reference
+        k = self.k
         found: set[tuple[int, int, int]] = set()
         out: list[Seed] = []
-        starts = list(range(0, max(1, len(query) - self.k + 1), stride))
-        if starts and starts[-1] != len(query) - self.k and len(query) >= self.k:
-            starts.append(len(query) - self.k)
-        for qb in starts:
-            kmer = query[qb : qb + self.k]
-            if len(kmer) < self.k:
+        if len(query) < k:
+            return out
+        starts = list(range(0, len(query) - k + 1, stride))
+        if starts[-1] != len(query) - k:
+            starts.append(len(query) - k)
+
+        # Pack every query k-mer once and look all anchors up with one
+        # batched binary search — semantically identical to per-anchor
+        # :meth:`lookup` calls, which repack the same bases k times
+        # over.  Anchors whose k-mer contains an ambiguous base are
+        # invalid (``lookup`` would return no hits for them).
+        q64 = query.astype(np.int64)
+        keys = _pack_kmers(q64, k)
+        bad = np.concatenate(
+            ([0], np.cumsum((q64 >= 4).astype(np.int64)))
+        )
+        anchors = np.asarray(starts, dtype=np.int64)
+        valid = (bad[anchors + k] - bad[anchors]) == 0
+        los = np.searchsorted(self._sorted_keys, keys[anchors], side="left")
+        his = np.searchsorted(self._sorted_keys, keys[anchors], side="right")
+        for qb, ok, lo, hi in zip(starts, valid, los, his):
+            if not ok or hi - lo > max_occurrences:
                 continue
-            hits = self.lookup(kmer)
-            if len(hits) > max_occurrences:
-                continue
+            hits = np.sort(self._positions[lo:hi])
             for rb in hits:
-                seed = _extend_maximal(query, ref, qb, int(rb), self.k)
+                seed = _extend_maximal(query, ref, qb, int(rb), k)
                 key = (seed.qbegin, seed.qend, seed.rbegin)
                 if key not in found:
                     found.add(key)
@@ -97,12 +112,27 @@ def _pack_kmers(seq: np.ndarray, k: int) -> np.ndarray:
 def _extend_maximal(
     query: np.ndarray, ref: np.ndarray, qb: int, rb: int, k: int
 ) -> Seed:
-    """Grow an exact k-mer hit to its maximal exact match."""
+    """Grow an exact k-mer hit to its maximal exact match.
+
+    Mismatch-scan formulation of the base-at-a-time walk: the left
+    reach is the trailing run of equal bases before the hit, the right
+    reach the leading run after it.
+    """
     qe, re_ = qb + k, rb + k
-    while qb > 0 and rb > 0 and query[qb - 1] == ref[rb - 1]:
-        qb -= 1
-        rb -= 1
-    while qe < len(query) and re_ < len(ref) and query[qe] == ref[re_]:
-        qe += 1
-        re_ += 1
+    lmax = min(qb, rb)
+    if lmax:
+        neq = np.flatnonzero(
+            query[qb - lmax : qb] != ref[rb - lmax : rb]
+        )
+        back = lmax if neq.size == 0 else lmax - 1 - int(neq[-1])
+        qb -= back
+        rb -= back
+    rmax = min(len(query) - qe, len(ref) - re_)
+    if rmax:
+        neq = np.flatnonzero(
+            query[qe : qe + rmax] != ref[re_ : re_ + rmax]
+        )
+        fwd = rmax if neq.size == 0 else int(neq[0])
+        qe += fwd
+        re_ += fwd
     return Seed(qb, qe, rb)

@@ -1,0 +1,141 @@
+"""Property tests: the lockstep dense fill equals the scalar oracle.
+
+:func:`~repro.align.fullmatrix.fill_extension_batch` powers the wave
+scheduler's host-traceback stage: it fills many winners' dense H/E/F
+matrices in one padded lockstep pass and slices each job's exact
+matrices back out.  Its contract is *bit-identity* with the per-cell
+scalar oracle :func:`~repro.align.fullmatrix.fill_extension` — every
+channel value, every derived score, every tie-broken position — for
+any job mix, any scoring scheme, any chunking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.fullmatrix import (
+    fill_extension,
+    fill_extension_batch,
+    traceback_extension,
+    traceback_path,
+)
+from repro.align.scoring import BWA_MEM_SCORING, AffineGap
+
+SEQ = st.lists(st.integers(0, 4), min_size=0, max_size=12).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+JOB = st.tuples(SEQ, SEQ, st.integers(0, 30))
+
+
+def assert_dense_equal(got, want) -> None:
+    """Channel-for-channel equality of two :class:`DenseMatrices`."""
+    assert (got.h == want.h).all()
+    assert (got.e == want.e).all()
+    assert (got.f == want.f).all()
+    assert got.lscore == want.lscore
+    assert got.lpos == want.lpos
+    assert got.gscore == want.gscore
+    assert got.gpos == want.gpos
+    assert got.max_off == want.max_off
+
+
+class TestLockstepBitIdentity:
+    @settings(max_examples=60, deadline=None)
+    @given(jobs=st.lists(JOB, min_size=1, max_size=8))
+    def test_batch_matches_scalar_oracle(self, jobs):
+        """Padded lockstep fill == scalar per-cell fill, per job."""
+        batch = fill_extension_batch(
+            [q for q, _, _ in jobs],
+            [t for _, t, _ in jobs],
+            BWA_MEM_SCORING,
+            [h0 for _, _, h0 in jobs],
+        )
+        assert len(batch) == len(jobs)
+        for (q, t, h0), got in zip(jobs, batch):
+            assert_dense_equal(got, fill_extension(q, t, BWA_MEM_SCORING, h0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        jobs=st.lists(JOB, min_size=1, max_size=5),
+        go=st.integers(0, 6),
+        ge=st.integers(0, 3),
+        ge_ins=st.integers(0, 3),
+    )
+    def test_batch_matches_under_other_schemes(self, jobs, go, ge, ge_ins):
+        """Identity holds for arbitrary (even relaxed) gap schemes."""
+        scoring = AffineGap(
+            match=2,
+            mismatch=3,
+            gap_open=go,
+            gap_extend=ge,
+            gap_extend_ins=ge_ins,
+        )
+        batch = fill_extension_batch(
+            [q for q, _, _ in jobs],
+            [t for _, t, _ in jobs],
+            scoring,
+            [h0 for _, _, h0 in jobs],
+        )
+        for (q, t, h0), got in zip(jobs, batch):
+            assert_dense_equal(got, fill_extension(q, t, scoring, h0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(jobs=st.lists(JOB, min_size=2, max_size=8))
+    def test_chunking_is_invisible(self, jobs):
+        """A tiny cell budget forces many chunks; results are unchanged."""
+        big = fill_extension_batch(
+            [q for q, _, _ in jobs],
+            [t for _, t, _ in jobs],
+            BWA_MEM_SCORING,
+            [h0 for _, _, h0 in jobs],
+        )
+        small = fill_extension_batch(
+            [q for q, _, _ in jobs],
+            [t for _, t, _ in jobs],
+            BWA_MEM_SCORING,
+            [h0 for _, _, h0 in jobs],
+            max_cells=1,  # every chunk degenerates to one job
+        )
+        for got, want in zip(small, big):
+            assert_dense_equal(got, want)
+
+    def test_ragged_shapes_do_not_bleed(self):
+        """Wildly different job shapes in one chunk stay independent."""
+        rng = np.random.default_rng(13)
+        jobs = [
+            (np.zeros(0, dtype=np.uint8), rng.integers(0, 4, 9).astype(np.uint8), 5),
+            (rng.integers(0, 4, 40).astype(np.uint8), rng.integers(0, 4, 2).astype(np.uint8), 18),
+            (np.full(12, 4, dtype=np.uint8), rng.integers(0, 4, 12).astype(np.uint8), 9),
+            (rng.integers(0, 5, 25).astype(np.uint8), rng.integers(0, 5, 30).astype(np.uint8), 22),
+        ]
+        batch = fill_extension_batch(
+            [q for q, _, _ in jobs],
+            [t for _, t, _ in jobs],
+            BWA_MEM_SCORING,
+            [h0 for _, _, h0 in jobs],
+        )
+        for (q, t, h0), got in zip(jobs, batch):
+            assert_dense_equal(got, fill_extension(q, t, BWA_MEM_SCORING, h0))
+
+    def test_empty_batch(self):
+        """Zero jobs in, zero matrices out."""
+        assert fill_extension_batch([], [], BWA_MEM_SCORING, []) == []
+
+
+class TestTracebackPath:
+    @settings(max_examples=60, deadline=None)
+    @given(job=JOB)
+    def test_walk_of_prefilled_matrix_matches_oracle(self, job):
+        """``traceback_path`` over a lockstep-filled matrix == the
+        fill-and-walk oracle ``traceback_extension``."""
+        q, t, h0 = job
+        mats = fill_extension(q, t, BWA_MEM_SCORING, h0)
+        end = mats.lpos
+        if end == (0, 0):
+            return
+        want = traceback_extension(q, t, BWA_MEM_SCORING, h0, end)
+        [batched] = fill_extension_batch([q], [t], BWA_MEM_SCORING, [h0])
+        got = traceback_path(batched, q, t, BWA_MEM_SCORING, end)
+        assert str(got) == str(want)

@@ -1,0 +1,197 @@
+"""Differential SAM tests: every dispatch mode, one byte stream.
+
+The batched/sharded pipeline's whole contract is *no new semantics*:
+the deferred-extension wave scheduler and the multi-process shard
+runner are pure scheduling transforms, so their SAM output must be
+byte-identical to the scalar single-process ``FullBandEngine`` run.
+This suite pins that contract across
+
+* engines: scalar ``FullBandEngine`` vs wave-dispatched
+  ``BatchedEngine`` (full band);
+* dispatch: in-process scalar loop, in-process wave scheduler with
+  ragged window sizes, and the sharded runner at 1 and 4 workers;
+* corpora: three independently-seeded Platinum-like read sets, plus a
+  ragged corpus of pipeline edge cases (empty read, all-``N`` read,
+  junk read with no chains, read longer than the whole reference).
+
+Any divergence — a reordered record, a different CIGAR, a drifted
+MAPQ — fails the byte comparison immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aligner.engines import BatchedEngine, FullBandEngine
+from repro.aligner.parallel import EngineSpec
+from repro.genome.sequence import encode
+from repro.genome.synth import (
+    PLATINUM_LIKE,
+    ReadSimulator,
+    synthesize_reference,
+)
+from tests.helpers import sam_bytes
+
+CORPUS_SEEDS = (11, 23, 47)
+
+
+def _corpus(seed: int, reads: int = 24, ref_len: int = 20_000):
+    """One Platinum-like corpus: reference plus simulated reads."""
+    rng = np.random.default_rng(seed)
+    reference = synthesize_reference(ref_len, rng, repeat_fraction=0.05)
+    sim = ReadSimulator(reference, PLATINUM_LIKE, seed=seed + 1)
+    return reference, sim.simulate(reads)
+
+
+def _ragged_corpus():
+    """Edge-case reads the wave scheduler must not choke on.
+
+    Interleaved with ordinary mapped reads so every window mixes
+    mapped, unmapped, and degenerate slots.
+    """
+    rng = np.random.default_rng(99)
+    reference = synthesize_reference(4_000, rng)
+    sim = ReadSimulator(reference, PLATINUM_LIKE, seed=100)
+    normal = sim.simulate(8)
+    specials = [
+        ("empty", np.zeros(0, dtype=np.uint8)),
+        ("short", encode("ACGT")),  # below the seed length: no seeds
+        ("all_n", encode("N" * 80)),
+        # Random junk: seeds may hit repeats but chains rarely form.
+        ("junk", rng.integers(0, 4, size=120).astype(np.uint8)),
+        # Longer than the whole reference window.
+        (
+            "megaread",
+            np.concatenate(
+                [reference, rng.integers(0, 4, size=500).astype(np.uint8)]
+            ).astype(np.uint8),
+        ),
+    ]
+    reads: list[tuple[str, np.ndarray]] = []
+    for k, read in enumerate(normal):
+        reads.append((read.name, np.asarray(read.codes, dtype=np.uint8)))
+        if k < len(specials):
+            reads.append(specials[k])
+    return reference, reads
+
+
+@pytest.mark.parametrize("seed", CORPUS_SEEDS)
+def test_batched_engine_matches_scalar(seed):
+    """Wave scheduler + lockstep kernel == scalar loop, byte for byte."""
+    reference, reads = _corpus(seed)
+    baseline = sam_bytes(reference, reads, FullBandEngine(), seeding="kmer")
+    batched = sam_bytes(
+        reference,
+        reads,
+        BatchedEngine(),
+        batch_size=7,  # ragged windows: 24 reads -> 7+7+7+3
+        seeding="kmer",
+    )
+    assert batched == baseline
+
+
+@pytest.mark.parametrize("seed", CORPUS_SEEDS)
+@pytest.mark.parametrize("kind", ["full", "batched"])
+def test_sharded_matches_scalar(seed, kind):
+    """{scalar, batched} engines x 4 workers == single-process scalar."""
+    reference, reads = _corpus(seed)
+    baseline = sam_bytes(reference, reads, FullBandEngine(), seeding="kmer")
+    sharded = sam_bytes(
+        reference,
+        reads,
+        EngineSpec(kind=kind),
+        workers=4,
+        batch_size=16,
+        seeding="kmer",
+    )
+    assert sharded == baseline
+
+
+def test_one_worker_inline_path_matches_scalar():
+    """``workers=1`` (no multiprocessing) is the same byte stream too."""
+    reference, reads = _corpus(CORPUS_SEEDS[0])
+    baseline = sam_bytes(reference, reads, FullBandEngine(), seeding="kmer")
+    inline = sam_bytes(
+        reference,
+        reads,
+        EngineSpec(kind="batched"),
+        workers=1,
+        batch_size=16,
+        seeding="kmer",
+    )
+    assert inline == baseline
+
+
+@pytest.mark.parametrize("batch_size", [1, 5, 64])
+def test_ragged_corpus_matches_scalar(batch_size):
+    """Degenerate reads survive every window geometry unchanged."""
+    reference, reads = _ragged_corpus()
+    baseline = sam_bytes(reference, reads, FullBandEngine(), seeding="kmer")
+    batched = sam_bytes(
+        reference,
+        reads,
+        BatchedEngine(),
+        batch_size=batch_size,
+        seeding="kmer",
+    )
+    assert batched == baseline
+
+
+def test_ragged_corpus_sharded_matches_scalar():
+    """The ragged corpus also shards cleanly across 4 workers."""
+    reference, reads = _ragged_corpus()
+    baseline = sam_bytes(reference, reads, FullBandEngine(), seeding="kmer")
+    sharded = sam_bytes(
+        reference,
+        reads,
+        EngineSpec(kind="batched"),
+        workers=4,
+        batch_size=5,
+        seeding="kmer",
+    )
+    assert sharded == baseline
+
+
+def test_smem_seeding_differential():
+    """The contract holds under the FM-index seeding backend as well."""
+    reference, reads = _corpus(CORPUS_SEEDS[1], reads=10, ref_len=6_000)
+    baseline = sam_bytes(reference, reads, FullBandEngine(), seeding="smem")
+    batched = sam_bytes(
+        reference, reads, BatchedEngine(), batch_size=4, seeding="smem"
+    )
+    assert batched == baseline
+
+
+def test_cache_disabled_matches_scalar():
+    """``cache_entries=0`` changes nothing but the work done."""
+    reference, reads = _corpus(CORPUS_SEEDS[2], reads=12)
+    baseline = sam_bytes(reference, reads, FullBandEngine(), seeding="kmer")
+    uncached = sam_bytes(
+        reference,
+        reads,
+        BatchedEngine(cache_entries=0),
+        batch_size=5,
+        seeding="kmer",
+    )
+    assert uncached == baseline
+
+
+@pytest.mark.slow
+def test_corpus_scale_differential():
+    """A corpus-scale run (1k reads) at the paper's batch geometry."""
+    reference, reads = _corpus(CORPUS_SEEDS[0], reads=1_000, ref_len=50_000)
+    baseline = sam_bytes(reference, reads, FullBandEngine(), seeding="kmer")
+    batched = sam_bytes(
+        reference, reads, BatchedEngine(), batch_size=4096, seeding="kmer"
+    )
+    sharded = sam_bytes(
+        reference,
+        reads,
+        EngineSpec(kind="batched"),
+        workers=4,
+        batch_size=4096,
+        seeding="kmer",
+    )
+    assert batched == baseline
+    assert sharded == baseline

@@ -20,6 +20,9 @@ from repro.aligner.pipeline import Aligner
 from repro.genome.sam import diff_records
 from repro.genome.synth import synthesize_reference
 
+pytestmark = pytest.mark.chaos
+"""Chaos tier: selected by the CI chaos job via ``-m chaos``."""
+
 N_READS = 18
 READ_LEN = 101
 

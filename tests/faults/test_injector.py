@@ -13,6 +13,9 @@ from repro.faults.injector import (
 from repro.genome.synth import ExtensionJob
 from repro.hw.io_path import pack_job
 
+pytestmark = pytest.mark.chaos
+"""Chaos tier: selected by the CI chaos job via ``-m chaos``."""
+
 
 def _lines(n_chars=250):
     q = np.zeros(101, dtype=np.uint8)

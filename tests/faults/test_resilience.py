@@ -17,6 +17,9 @@ from repro.faults.resilience import (
     RetryPolicy,
 )
 
+pytestmark = pytest.mark.chaos
+"""Chaos tier: selected by the CI chaos job via ``-m chaos``."""
+
 Q = np.array([0, 1, 2, 3] * 5, dtype=np.uint8)
 T = np.array([0, 1, 2, 3] * 6, dtype=np.uint8)
 

@@ -9,11 +9,70 @@ trusted because they agree with this enumeration on small inputs.
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.align.scoring import AffineGap
+
+
+def sam_bytes(
+    reference: np.ndarray,
+    reads,
+    engine,
+    *,
+    workers: int = 1,
+    batch_size: int | None = None,
+    seeding: str = "kmer",
+    reference_name: str = "chr1",
+    **aligner_opts,
+) -> bytes:
+    """SAM output of one pipeline configuration, as comparable bytes.
+
+    The differential suite's single entry point: every configuration —
+    scalar or wave-scheduled, one process or sharded — renders through
+    the same writer so outputs are directly ``==``-comparable.
+
+    ``engine`` is an engine instance for in-process runs, or a
+    picklable :class:`~repro.aligner.parallel.EngineSpec` (mandatory
+    when ``workers > 1``).  ``batch_size=None`` runs the scalar path;
+    an integer routes reads through the deferred-extension wave
+    scheduler in windows of that size.
+    """
+    from repro.aligner.parallel import EngineSpec, align_sharded
+    from repro.aligner.pipeline import Aligner
+    from repro.genome.sam import write_sam
+
+    if workers > 1:
+        if not isinstance(engine, EngineSpec):
+            raise TypeError("workers > 1 requires an EngineSpec")
+        records = align_sharded(
+            reference,
+            reads,
+            spec=engine,
+            workers=workers,
+            batch_size=batch_size if batch_size is not None else 4096,
+            seeding=seeding,
+            reference_name=reference_name,
+            **aligner_opts,
+        )
+    else:
+        built = engine.build() if isinstance(engine, EngineSpec) else engine
+        aligner = Aligner(
+            reference,
+            built,
+            seeding=seeding,
+            reference_name=reference_name,
+            **aligner_opts,
+        )
+        if batch_size is None:
+            records = aligner.align(reads)
+        else:
+            records = aligner.align_batched(reads, batch_size=batch_size)
+    buf = io.StringIO()
+    write_sam(buf, records, reference_name, len(reference))
+    return buf.getvalue().encode()
 
 
 def mutate(

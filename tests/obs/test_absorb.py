@@ -1,0 +1,108 @@
+"""Snapshot merging: the sharded runner's metrics round trip.
+
+Each shard worker ships its registry :meth:`snapshot` back to the
+parent, which folds it in via
+:meth:`~repro.obs.metrics.MetricsRegistry.absorb_snapshot`.  These
+tests pin the merge semantics the sharded pipeline depends on:
+counters add, gauges last-write-win, histogram counts/sums/extrema/
+buckets merge exactly, streaming quantiles stay local-only, and label
+keys survive the render/parse round trip untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, _parse_key, _render_key
+
+
+def _worker_snapshot(inc: int, observations) -> dict:
+    """A mock shard's registry snapshot."""
+    reg = MetricsRegistry()
+    reg.counter("pipeline.batch.jobs", side="left").inc(inc)
+    reg.gauge("pipeline.shard.workers").set(4)
+    hist = reg.histogram("pipeline.batch.wave.jobs", side="left")
+    for value in observations:
+        hist.observe(value)
+    return reg.snapshot()
+
+
+class TestParseKey:
+    def test_round_trip_with_labels(self):
+        key = _render_key("a.b.c", {"side": "left", "shard": 3})
+        assert _parse_key(key) == ("a.b.c", {"side": "left", "shard": "3"})
+
+    def test_bare_name(self):
+        assert _parse_key("pipeline.batch.waves") == (
+            "pipeline.batch.waves",
+            {},
+        )
+
+
+class TestAbsorbSnapshot:
+    def test_counters_add(self):
+        parent = MetricsRegistry()
+        parent.counter("pipeline.batch.jobs", side="left").inc(10)
+        parent.absorb_snapshot(_worker_snapshot(7, []))
+        parent.absorb_snapshot(_worker_snapshot(5, []))
+        [value] = [
+            obj.snapshot()
+            for key, kind, obj in parent
+            if kind == "counter" and "jobs" in key
+        ]
+        assert value == 22
+
+    def test_gauges_last_write_wins(self):
+        parent = MetricsRegistry()
+        parent.gauge("pipeline.shard.workers").set(1)
+        parent.absorb_snapshot(_worker_snapshot(1, []))
+        gauge = parent.gauge("pipeline.shard.workers")
+        assert gauge.snapshot() == 4
+
+    def test_histograms_merge_exactly(self):
+        parent = MetricsRegistry()
+        parent.histogram("pipeline.batch.wave.jobs", side="left").observe(2)
+        parent.absorb_snapshot(_worker_snapshot(0, [1, 3, 100]))
+        snap = parent.histogram(
+            "pipeline.batch.wave.jobs", side="left"
+        ).snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(106.0)
+        assert snap["min"] == 1
+        assert snap["max"] == 100
+        total_bucketed = sum(snap["buckets"].values())
+        assert total_bucketed == 4
+
+    def test_quantiles_stay_local(self):
+        """Absorbed observations must not corrupt quantile sketches."""
+        parent = MetricsRegistry()
+        hist = parent.histogram("pipeline.batch.wave.jobs", side="left")
+        parent.absorb_snapshot(_worker_snapshot(0, [10, 20, 30]))
+        snap = hist.snapshot()
+        # Nothing observed locally: quantiles render as unknown even
+        # though absorbed counts are present.
+        assert snap["count"] == 3
+        assert all(v is None for v in snap["quantiles"].values())
+
+    def test_unknown_metrics_created_on_the_fly(self):
+        parent = MetricsRegistry()
+        assert len(parent) == 0
+        parent.absorb_snapshot(_worker_snapshot(3, [5]))
+        assert len(parent) == 3
+        assert parent.counter(
+            "pipeline.batch.jobs", side="left"
+        ).snapshot() == 3
+
+    def test_empty_histogram_snapshot_is_a_no_op(self):
+        parent = MetricsRegistry()
+        before = parent.histogram("h").snapshot()
+        parent.absorb_snapshot(
+            {"histograms": {"h": {"count": 0, "sum": 0.0, "buckets": {}}}}
+        )
+        assert parent.histogram("h").snapshot() == before
+
+    def test_absorb_empty_snapshot(self):
+        parent = MetricsRegistry()
+        parent.counter("c").inc()
+        parent.absorb_snapshot({})
+        assert parent.counter("c").snapshot() == 1
