@@ -259,6 +259,8 @@ def make_resilient(
     host_queue_capacity: int | None = None,
     fault_sites: tuple[str, ...] | None = None,
     sleep=None,
+    breaker_threshold: int | None = None,
+    breaker_probe_interval: int = 32,
 ):
     """Wrap ``engine`` in the chaos/resilience layer.
 
@@ -269,6 +271,13 @@ def make_resilient(
     ladder guarantees the result anyway.  Returns a
     :class:`~repro.faults.resilience.ResilientDispatcher`, which
     satisfies the :class:`ExtensionEngine` protocol.
+
+    ``breaker_threshold`` (``None`` = no breaker) arms a
+    :class:`~repro.durability.breaker.CircuitBreaker`: that many
+    consecutive host fallbacks trip it open and jobs short-circuit to
+    the host kernel, re-probing the accelerator every
+    ``breaker_probe_interval`` jobs (backed off while it keeps
+    failing).  See ``docs/durability.md``.
     """
     # Local import keeps the engine module importable without pulling
     # the faults package into every pipeline run.
@@ -286,6 +295,17 @@ def make_resilient(
             rate=fault_rate, seed=fault_seed, sites=fault_sites
         )
         wrapped = ChaosEngine(engine, injector)
+    breaker = None
+    if breaker_threshold is not None:
+        from repro.durability.breaker import BreakerPolicy, CircuitBreaker
+
+        breaker = CircuitBreaker(
+            BreakerPolicy(
+                failure_threshold=breaker_threshold,
+                probe_interval=breaker_probe_interval,
+            ),
+            registry=registry,
+        )
     kwargs = {} if sleep is None else {"sleep": sleep}
     return ResilientDispatcher(
         wrapped,
@@ -294,5 +314,6 @@ def make_resilient(
         registry=registry,
         host_queue_capacity=host_queue_capacity,
         seed=fault_seed,
+        breaker=breaker,
         **kwargs,
     )

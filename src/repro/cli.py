@@ -118,6 +118,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-attempt stall/timeout budget (default 0.25)",
     )
+    chaos_opts.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="arm the accelerator circuit breaker: N consecutive host "
+        "fallbacks trip it open (default: off; see docs/durability.md)",
+    )
+    chaos_opts.add_argument(
+        "--breaker-probe-interval",
+        type=int,
+        default=32,
+        metavar="N",
+        help="jobs between half-open probes while the breaker is open "
+        "(default 32, backed off while probes keep failing)",
+    )
 
     sim = sub.add_parser(
         "simulate",
@@ -174,6 +190,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--paired",
         action="store_true",
         help="treat the FASTQ as interleaved pairs (mate rescue on)",
+    )
+    aln.add_argument(
+        "--on-bad-record",
+        choices=("fail", "quarantine"),
+        default="fail",
+        help="malformed FASTQ records: 'fail' aborts (default), "
+        "'quarantine' skips them, counting pipeline.input.bad_records",
+    )
+    aln.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        help="journal completed read windows into DIR (durable run: "
+        "killable, resumable with --resume; see docs/durability.md)",
+    )
+    aln.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the interrupted run journaled in --run-dir, "
+        "recomputing only the missing windows",
+    )
+    aln.add_argument(
+        "--max-restarts",
+        type=int,
+        default=8,
+        metavar="N",
+        help="worker respawn budget of the durable run's supervisor "
+        "(default 8)",
+    )
+    aln.add_argument(
+        "--hung-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="heartbeat silence after which a supervised worker is "
+        "declared hung and restarted (default 30)",
+    )
+    aln.add_argument(
+        "--start-method",
+        choices=("fork", "spawn"),
+        default=None,
+        help="multiprocessing start method for worker processes "
+        "(default: fork where available, else spawn)",
     )
 
     ana = sub.add_parser(
@@ -238,22 +296,28 @@ def _engine_spec(args: argparse.Namespace):
         fault_seed=args.fault_seed,
         max_retries=args.max_retries,
         timeout_s=args.timeout,
+        breaker_threshold=getattr(args, "breaker_threshold", None),
+        breaker_probe_interval=getattr(args, "breaker_probe_interval", 32),
     )
 
 
 def _wrap_chaos(engine, args: argparse.Namespace):
-    """Wrap ``engine`` per the ``--chaos`` flags; ``None`` when off."""
-    if not getattr(args, "chaos", False):
+    """Wrap ``engine`` per the ``--chaos``/breaker flags; ``None`` off."""
+    chaos = getattr(args, "chaos", False)
+    threshold = getattr(args, "breaker_threshold", None)
+    if not chaos and threshold is None:
         return engine, None
     from repro.aligner.engines import make_resilient
 
     dispatcher = make_resilient(
         engine,
-        fault_rate=args.fault_rate,
+        fault_rate=args.fault_rate if chaos else 0.0,
         fault_seed=args.fault_seed,
         max_retries=args.max_retries,
         timeout_s=args.timeout,
         registry=obs.get_registry() if obs.enabled() else None,
+        breaker_threshold=threshold,
+        breaker_probe_interval=getattr(args, "breaker_probe_interval", 32),
     )
     return dispatcher, dispatcher
 
@@ -274,6 +338,13 @@ def _print_chaos_summary(dispatcher) -> None:
             "warning: fault accounting mismatch "
             "(injected != detected + tolerated)",
             file=sys.stderr,
+        )
+    breaker = getattr(dispatcher, "breaker", None)
+    if breaker is not None:
+        print(
+            f"breaker: state {breaker.state}, {breaker.trips} trips, "
+            f"{breaker.short_circuits} short circuits, "
+            f"{breaker.probes} probes"
         )
 
 
@@ -315,14 +386,67 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_input_fastq(args: argparse.Namespace):
+    """Load the FASTQ per ``--on-bad-record``; returns the records.
+
+    ``quarantine`` mode skips malformed records (counted as
+    ``pipeline.input.bad_records``, warned to stderr, and listed in
+    ``<run-dir>/bad_records.tsv`` when a run directory exists) instead
+    of aborting the run.
+    """
+    from repro.genome.io_fasta import MalformedRecordError
+    from repro.obs import names as mn
+
+    policy = getattr(args, "on_bad_record", "fail")
+    if policy == "fail":
+        try:
+            return read_fastq(args.reads)
+        except MalformedRecordError as exc:
+            raise SystemExit(
+                f"error: {exc} (rerun with --on-bad-record quarantine "
+                "to skip malformed records)"
+            ) from exc
+    bad: list[MalformedRecordError] = []
+    reads = read_fastq(args.reads, on_bad=bad.append)
+    if bad:
+        if obs.enabled():
+            obs.get_registry().counter(
+                mn.PIPELINE_INPUT_BAD_RECORDS,
+                "malformed input records skipped",
+            ).inc(len(bad))
+        for exc in bad:
+            print(f"warning: skipped bad record: {exc}", file=sys.stderr)
+        run_dir = getattr(args, "run_dir", None)
+        if run_dir:
+            from pathlib import Path
+
+            directory = Path(run_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            with open(directory / "bad_records.tsv", "a") as handle:
+                for exc in bad:
+                    handle.write(
+                        f"{exc.path or args.reads}\t{exc.line}\t"
+                        f"{exc.reason}\n"
+                    )
+    return reads
+
+
 def cmd_align(args: argparse.Namespace) -> int:
     """Align a FASTQ against a FASTA reference, write SAM."""
     name, reference = _load_reference(args.reference)
-    reads = read_fastq(args.reads)
+    reads = _read_input_fastq(args)
     if args.batch_size < 1:
         raise SystemExit("error: --batch-size must be at least 1")
     if args.workers < 1:
         raise SystemExit("error: --workers must be at least 1")
+    if args.resume and not args.run_dir:
+        raise SystemExit("error: --resume needs --run-dir")
+    if args.run_dir:
+        if args.paired:
+            raise SystemExit(
+                "error: --run-dir supports single-end reads only"
+            )
+        return _align_durable_cmd(args, name, reference, reads)
     if args.workers > 1:
         if args.paired:
             raise SystemExit(
@@ -418,6 +542,7 @@ def _align_sharded_cmd(
         spec=spec,
         workers=args.workers,
         batch_size=args.batch_size,
+        start_method=args.start_method,
         seeding=args.seeding,
         reference_name=name,
     )
@@ -435,6 +560,99 @@ def _align_sharded_cmd(
             "chaos: per-worker fault accounting merged into the "
             "metrics registry (see --metrics-out)"
         )
+    return 0
+
+
+def _align_durable_cmd(
+    args: argparse.Namespace, name: str, reference, reads
+) -> int:
+    """The ``align --run-dir`` path: journaled, supervised, resumable.
+
+    Completed read windows are committed to the run directory as they
+    finish; SIGINT/SIGTERM drain the in-flight wave, flush the
+    journal, and exit with code 3 plus a resume hint.  ``--resume``
+    validates the journal against the current configuration and
+    recomputes only the missing windows; the stitched SAM is
+    byte-identical to an uninterrupted run.
+    """
+    from repro.durability import (
+        GracefulShutdown,
+        JournalError,
+        RunInterrupted,
+        SupervisorError,
+        SupervisorPolicy,
+        run_fingerprint,
+        run_journaled,
+    )
+
+    spec = _engine_spec(args)
+    fingerprint = run_fingerprint(
+        args.reference,
+        args.reads,
+        spec,
+        batch_size=args.batch_size,
+        seeding=args.seeding,
+        on_bad_record=args.on_bad_record,
+    )
+    policy = SupervisorPolicy(
+        max_restarts=args.max_restarts, hung_timeout=args.hung_timeout
+    )
+    encoded = [(r.name, encode(r.sequence)) for r in reads]
+    start = time.perf_counter()
+    try:
+        with GracefulShutdown() as shutdown:
+            report = run_journaled(
+                args.run_dir,
+                reference,
+                encoded,
+                fingerprint,
+                out_path=args.out,
+                reference_name=name,
+                spec=spec,
+                workers=args.workers,
+                batch_size=args.batch_size,
+                resume=args.resume,
+                policy=policy,
+                should_stop=shutdown,
+                start_method=args.start_method,
+                seeding=args.seeding,
+            )
+    except RunInterrupted as exc:
+        print(
+            f"interrupted: {exc.done}/{exc.total} windows journaled in "
+            f"{exc.run_dir}"
+        )
+        print(
+            f"resume with: python -m repro.cli align --reference "
+            f"{args.reference} --reads {args.reads} --out {args.out} "
+            f"--run-dir {args.run_dir} --resume"
+        )
+        return 3
+    except (JournalError, SupervisorError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    elapsed = time.perf_counter() - start
+    parts = [
+        f"aligned {len(encoded)} reads in {elapsed:.1f}s with engine "
+        f"{args.engine} across {args.workers} worker(s)"
+    ]
+    if report.resumed:
+        parts.append(
+            f"resumed: {report.skipped_windows}/{report.total_windows} "
+            "windows reused from the journal"
+        )
+    if report.dropped_windows:
+        parts.append(
+            f"recomputed {len(report.dropped_windows)} corrupt "
+            "journal segment(s)"
+        )
+    if report.restarts:
+        parts.append(f"worker restarts: {report.restarts}")
+    if report.quarantined:
+        parts.append(
+            f"quarantined {len(report.quarantined)} poison read(s) "
+            f"to {report.run_dir}/quarantine.fastq"
+        )
+    print("; ".join(parts))
     return 0
 
 

@@ -234,6 +234,15 @@ class ResilientDispatcher:
     engine's scoring; ``host_queue_capacity`` bounds how many fallback
     reruns the host accepts (``None`` = unbounded, the bit-identity
     configuration).
+
+    ``breaker`` (a :class:`~repro.durability.breaker.CircuitBreaker`)
+    adds a fourth behaviour on top of the ladder: after enough
+    *consecutive* host fallbacks it trips and subsequent jobs are
+    short-circuited straight to the host full-band kernel without
+    burning their retry/timeout budget on an accelerator that is
+    plainly down, re-probing on the breaker's half-open schedule.
+    Output bytes are unchanged either way — the host kernel is the
+    ground truth.
     """
 
     def __init__(
@@ -246,6 +255,7 @@ class ResilientDispatcher:
         sleep=time.sleep,
         host_queue_capacity: int | None = None,
         seed: int = 0,
+        breaker=None,
     ) -> None:
         self.engine = engine
         self.fallback = fallback
@@ -254,6 +264,7 @@ class ResilientDispatcher:
         self.stats = ResilienceStats(registry)
         self.dead_letters: list[DeadLetter] = []
         self.host_queue_capacity = host_queue_capacity
+        self.breaker = breaker
         self.name = f"resilient({engine.name})"
         self._sleep = sleep
         self._rng = np.random.default_rng(seed)
@@ -270,6 +281,10 @@ class ResilientDispatcher:
         policy = self.policy
         stats = self.stats
         stats.record_job()
+        if self.breaker is not None and not self.breaker.allow():
+            # Breaker open: the accelerator is known-bad, so skip the
+            # retry ladder entirely and go straight to the host.
+            return self._fallback_engine().extend(query, target, h0)
         attempt = 1
         stalls = 0
         last_site = ""
@@ -305,9 +320,13 @@ class ResilientDispatcher:
                 attempt += 1
                 continue
             stats.record_attempts(attempt)
+            if self.breaker is not None:
+                self.breaker.record_success()
             return result
 
         # Rung 2: full-band rerun on the host.
+        if self.breaker is not None:
+            self.breaker.record_failure()
         if self._host_accepts():
             stats.record_fallback()
             stats.record_attempts(attempt)

@@ -2,15 +2,45 @@
 
 The pipeline's on-disk interchange formats: references travel as FASTA
 (the paper indexes GRCh38 from the UCSC browser), reads as FASTQ (the
-paper streams ERR194147).  Both parsers are deliberately strict — a
-malformed record raises instead of silently truncating a genome.
+paper streams ERR194147).  Both parsers are strict by default — a
+malformed record raises a typed :class:`MalformedRecordError` carrying
+the file, line, and reason instead of silently truncating a genome.
+
+The FASTQ parser can also run in *quarantine* mode (the CLI's
+``--on-bad-record quarantine``): malformed records are reported to a
+callback, the stream resyncs at the next plausible record header, and
+parsing continues — one corrupt record in a multi-gigabyte FASTQ then
+costs one quarantined entry, not the whole run.  See
+``docs/durability.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, TextIO
+from typing import Callable, Iterable, Iterator, TextIO
+
+ON_BAD_FAIL = "fail"
+ON_BAD_QUARANTINE = "quarantine"
+ON_BAD_POLICIES = (ON_BAD_FAIL, ON_BAD_QUARANTINE)
+"""Accepted ``--on-bad-record`` policies."""
+
+
+class MalformedRecordError(ValueError):
+    """A FASTA/FASTQ record the parser refused, with its location.
+
+    ``path`` is ``None`` when parsing an anonymous stream; ``line`` is
+    the 1-based line number of the offending record's first bad line.
+    """
+
+    def __init__(
+        self, reason: str, *, path: str | None = None, line: int = 0
+    ) -> None:
+        self.reason = reason
+        self.path = path
+        self.line = line
+        where = f"{path or '<stream>'}:{line}"
+        super().__init__(f"{where}: {reason}")
 
 
 @dataclass(frozen=True)
@@ -33,7 +63,9 @@ class FastqRecord:
             )
 
 
-def parse_fasta(handle: TextIO) -> Iterator[FastaRecord]:
+def parse_fasta(
+    handle: TextIO, path: str | None = None
+) -> Iterator[FastaRecord]:
     """Yield records from a FASTA stream (multi-line sequences ok)."""
     name: str | None = None
     chunks: list[str] = []
@@ -46,12 +78,16 @@ def parse_fasta(handle: TextIO) -> Iterator[FastaRecord]:
                 yield FastaRecord(name, "".join(chunks))
             name = line[1:].split()[0] if len(line) > 1 else ""
             if not name:
-                raise ValueError(f"empty FASTA header at line {lineno}")
+                raise MalformedRecordError(
+                    "empty FASTA header", path=path, line=lineno
+                )
             chunks = []
         else:
             if name is None:
-                raise ValueError(
-                    f"sequence before any FASTA header at line {lineno}"
+                raise MalformedRecordError(
+                    "sequence before any FASTA header",
+                    path=path,
+                    line=lineno,
                 )
             chunks.append(line)
     if name is not None:
@@ -61,7 +97,7 @@ def parse_fasta(handle: TextIO) -> Iterator[FastaRecord]:
 def read_fasta(path: str | Path) -> list[FastaRecord]:
     """Read all records of a FASTA file."""
     with open(path) as handle:
-        return list(parse_fasta(handle))
+        return list(parse_fasta(handle, path=str(path)))
 
 
 def write_fasta(
@@ -75,31 +111,150 @@ def write_fasta(
             handle.write(seq[i : i + width] + "\n")
 
 
-def parse_fastq(handle: TextIO) -> Iterator[FastqRecord]:
-    """Yield records from a FASTQ stream (4-line records)."""
+class _LineReader:
+    """Line iterator over a text stream with pushback and numbering.
+
+    The quarantine-mode FASTQ parser needs look-ahead (to tell a real
+    record header from a quality line that merely starts with ``@``)
+    and accurate line numbers for error reports; this tiny reader
+    provides both without requiring a seekable stream.
+    """
+
+    def __init__(self, handle: TextIO) -> None:
+        self._handle = handle
+        self._pushed: list[str] = []
+        self.lineno = 0
+
+    def next(self) -> str | None:
+        """The next line (trailing newline kept); ``None`` at EOF."""
+        if self._pushed:
+            self.lineno += 1
+            return self._pushed.pop()
+        line = self._handle.readline()
+        if not line:
+            return None
+        self.lineno += 1
+        return line
+
+    def push(self, line: str) -> None:
+        """Push one line back; the next :meth:`next` returns it."""
+        self._pushed.append(line)
+        self.lineno -= 1
+
+
+def parse_fastq(
+    handle: TextIO,
+    path: str | None = None,
+    on_bad: Callable[[MalformedRecordError], None] | None = None,
+) -> Iterator[FastqRecord]:
+    """Yield records from a FASTQ stream (4-line records).
+
+    Strict by default: a malformed record raises
+    :class:`MalformedRecordError`.  With ``on_bad`` set, the error is
+    passed to the callback instead, the stream resyncs at the next
+    plausible record header (an ``@`` line with a ``+`` separator two
+    lines later — not a quality line that merely begins with ``@``),
+    and parsing continues.
+    """
+    lines = _LineReader(handle)
+    consumed: list[str] = []  # raw body lines of the record in flight
+
+    def take() -> str:
+        line = lines.next()
+        if line is None:
+            return ""
+        consumed.append(line)
+        return line.rstrip("\n")
+
     while True:
-        header = handle.readline()
-        if not header:
+        raw = lines.next()
+        if raw is None:
             return
-        header = header.rstrip("\n")
+        header = raw.rstrip("\n")
         if not header:
             continue
-        if not header.startswith("@"):
-            raise ValueError(f"bad FASTQ header: {header!r}")
-        seq = handle.readline().rstrip("\n")
-        plus = handle.readline().rstrip("\n")
-        qual = handle.readline().rstrip("\n")
-        if not plus.startswith("+"):
-            raise ValueError(f"bad FASTQ separator for {header!r}")
-        if not qual and seq:
-            raise ValueError(f"truncated FASTQ record {header!r}")
+        start = lines.lineno
+        consumed.clear()
+        try:
+            if not header.startswith("@"):
+                raise MalformedRecordError(
+                    f"bad FASTQ header: {header!r}", path=path, line=start
+                )
+            seq = take()
+            plus = take()
+            qual = take()
+            if not plus.startswith("+"):
+                raise MalformedRecordError(
+                    f"bad FASTQ separator for {header!r}",
+                    path=path,
+                    line=start,
+                )
+            if not qual and seq:
+                raise MalformedRecordError(
+                    f"truncated FASTQ record {header!r}",
+                    path=path,
+                    line=start,
+                )
+            if len(seq) != len(qual):
+                raise MalformedRecordError(
+                    f"quality length {len(qual)} != sequence length "
+                    f"{len(seq)} for {header!r}",
+                    path=path,
+                    line=start,
+                )
+        except MalformedRecordError as exc:
+            if on_bad is None:
+                raise
+            on_bad(exc)
+            # The bad record's body lines may hide the next record's
+            # header (e.g. a missing separator shifts everything up
+            # one line) — hand them back so resync can find it.
+            for line in reversed(consumed):
+                lines.push(line)
+            _resync(lines)
+            continue
         yield FastqRecord(header[1:].split()[0], seq, qual)
 
 
-def read_fastq(path: str | Path) -> list[FastqRecord]:
-    """Read all records of a FASTQ file."""
+def _resync(lines: _LineReader) -> None:
+    """Skip forward to the next plausible FASTQ record header.
+
+    A line qualifies when it starts with ``@`` and the line two ahead
+    starts with ``+`` (or the stream ends first — trailing garbage is
+    then reported as one final bad record rather than silently eaten).
+    The qualifying header and its look-ahead are pushed back so the
+    parser re-reads them normally.
+    """
+    while True:
+        line = lines.next()
+        if line is None:
+            return
+        if not line.startswith("@"):
+            continue
+        peek1 = lines.next()
+        peek2 = lines.next()
+        if peek2 is None or peek2.startswith("+"):
+            for item in (peek2, peek1, line):
+                if item is not None:
+                    lines.push(item)
+            return
+        # Not a record start (likely a quality line); re-examine the
+        # look-ahead lines as candidates themselves.
+        lines.push(peek2)
+        lines.push(peek1)
+
+
+def read_fastq(
+    path: str | Path,
+    on_bad: Callable[[MalformedRecordError], None] | None = None,
+) -> list[FastqRecord]:
+    """Read all records of a FASTQ file.
+
+    ``on_bad`` enables quarantine-mode parsing: malformed records are
+    reported to the callback and skipped (see :func:`parse_fastq`).
+    """
     with open(path) as handle:
-        return list(parse_fastq(handle))
+        return list(parse_fastq(handle, path=str(path), on_bad=on_bad))
 
 
 def write_fastq(handle: TextIO, records: Iterable[FastqRecord]) -> None:

@@ -97,6 +97,19 @@ class SamRecord:
         )
 
 
+def write_header(
+    handle: TextIO, reference_name: str, reference_length: int
+) -> None:
+    """Write the minimal single-reference SAM header.
+
+    Factored out of :func:`write_sam` so the durability layer can
+    stitch journaled body segments under the byte-identical header.
+    """
+    handle.write("@HD\tVN:1.6\tSO:unknown\n")
+    handle.write(f"@SQ\tSN:{reference_name}\tLN:{reference_length}\n")
+    handle.write("@PG\tID:repro-seedex\tPN:repro-seedex\n")
+
+
 def write_sam(
     handle: TextIO,
     records: Iterable[SamRecord],
@@ -104,9 +117,7 @@ def write_sam(
     reference_length: int,
 ) -> None:
     """Write a single-reference SAM file with a minimal header."""
-    handle.write("@HD\tVN:1.6\tSO:unknown\n")
-    handle.write(f"@SQ\tSN:{reference_name}\tLN:{reference_length}\n")
-    handle.write("@PG\tID:repro-seedex\tPN:repro-seedex\n")
+    write_header(handle, reference_name, reference_length)
     for rec in records:
         handle.write(rec.to_line() + "\n")
 

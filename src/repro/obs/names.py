@@ -148,6 +148,36 @@ PIPELINE_SHARD_READS = "pipeline.shard.reads"
 PIPELINE_SHARD_SNAPSHOTS_MERGED = "pipeline.shard.snapshots_merged"
 """Per-worker metric snapshots folded into the parent registry."""
 
+PIPELINE_SHARD_RESTARTS = "pipeline.shard.restarts"
+"""Worker processes the supervisor respawned after a crash or hang."""
+
+PIPELINE_SHARD_HEARTBEATS_MISSED = "pipeline.shard.heartbeats.missed"
+"""Workers killed for missing their heartbeat deadline."""
+
+PIPELINE_READS_QUARANTINED = "pipeline.reads.quarantined"
+"""Poison reads isolated by bisection and emitted unmapped."""
+
+PIPELINE_INPUT_BAD_RECORDS = "pipeline.input.bad_records"
+"""Malformed FASTQ records skipped under ``--on-bad-record quarantine``."""
+
+RESILIENCE_BREAKER_TRANSITIONS = "resilience.breaker.transitions"
+"""Circuit-breaker state changes (labels: ``to``)."""
+
+RESILIENCE_BREAKER_SHORT_CIRCUITS = "resilience.breaker.short_circuits"
+"""Jobs routed straight to the host while the breaker was open."""
+
+RESILIENCE_BREAKER_PROBES = "resilience.breaker.probes"
+"""Half-open probe jobs allowed through to the accelerator."""
+
+DURABILITY_WINDOWS_JOURNALED = "durability.windows.journaled"
+"""Read windows whose SAM segment was committed to the journal."""
+
+DURABILITY_WINDOWS_SKIPPED = "durability.windows.skipped"
+"""Windows a resumed run skipped because their segment was intact."""
+
+DURABILITY_JOURNAL_BYTES = "durability.journal.bytes"
+"""Segment bytes committed to the checkpoint journal."""
+
 # -- histograms ---------------------------------------------------------
 
 CELLS_PER_EXTENSION = "seedex.cells.per_extension"
@@ -181,6 +211,9 @@ SYSTEM_BATCHES_FINISHED = "system.batches.finished"
 
 RESILIENCE_OVERHEAD = "resilience.overhead.fraction"
 """Measured dispatcher overhead with faults disabled (<1% target)."""
+
+RESILIENCE_BREAKER_STATE = "resilience.breaker.state"
+"""Circuit-breaker state (0=closed, 1=half-open, 2=open)."""
 
 PIPELINE_SHARD_WORKERS = "pipeline.shard.workers"
 """Worker processes the sharded runner fanned out to."""

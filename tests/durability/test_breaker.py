@@ -1,0 +1,175 @@
+"""Tests for the job-count circuit breaker state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability.breaker import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.obs import names
+from repro.obs.metrics import MetricsRegistry
+
+
+def _fail_jobs(breaker: CircuitBreaker, count: int) -> None:
+    for _ in range(count):
+        assert breaker.allow()
+        breaker.record_failure()
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        BreakerPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"probe_interval": 0},
+            {"probe_backoff": 0.5},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerPolicy(**kwargs)
+
+
+class TestTrip:
+    def test_stays_closed_below_threshold(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=3))
+        _fail_jobs(breaker, 2)
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.trips == 0
+
+    def test_trips_at_threshold(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=3))
+        _fail_jobs(breaker, 3)
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=3))
+        _fail_jobs(breaker, 2)
+        assert breaker.allow()
+        breaker.record_success()
+        _fail_jobs(breaker, 2)
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_open_short_circuits(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, probe_interval=10)
+        )
+        _fail_jobs(breaker, 1)
+        for _ in range(5):
+            assert not breaker.allow()
+        assert breaker.short_circuits == 5
+
+
+class TestProbe:
+    def test_probe_arms_after_interval(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, probe_interval=3)
+        )
+        _fail_jobs(breaker, 1)
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.allow()  # third open job is the probe
+        assert breaker.state == BreakerState.HALF_OPEN
+        assert breaker.probes == 1
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, probe_interval=1)
+        )
+        _fail_jobs(breaker, 1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_backoff(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(
+                failure_threshold=1, probe_interval=2, probe_backoff=2.0
+            )
+        )
+        _fail_jobs(breaker, 1)
+        assert not breaker.allow()
+        assert breaker.allow()  # probe
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        # Backed-off interval is 4: three short circuits, then a probe.
+        denied = 0
+        while not breaker.allow():
+            denied += 1
+        assert denied == 3
+        assert breaker.state == BreakerState.HALF_OPEN
+
+    def test_backoff_capped(self):
+        policy = BreakerPolicy(
+            failure_threshold=1,
+            probe_interval=4,
+            probe_backoff=10.0,
+            probe_interval_cap=8,
+        )
+        breaker = CircuitBreaker(policy)
+        _fail_jobs(breaker, 1)
+        for _ in range(3):  # fail probes repeatedly
+            while not breaker.allow():
+                pass
+            breaker.record_failure()
+        assert breaker._interval == 8
+
+    def test_recovery_resets_backoff(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(
+                failure_threshold=1, probe_interval=2, probe_backoff=2.0
+            )
+        )
+        _fail_jobs(breaker, 1)
+        while not breaker.allow():
+            pass
+        breaker.record_failure()  # probe fails: interval -> 4
+        while not breaker.allow():
+            pass
+        breaker.record_success()  # probe passes: interval back to 2
+        assert breaker._interval == 2
+
+
+class TestEventsAndMetrics:
+    def test_events_record_transitions(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, probe_interval=1)
+        )
+        _fail_jobs(breaker, 1)
+        assert breaker.allow()  # probe immediately
+        breaker.record_success()
+        states = [(event.old, event.new) for event in breaker.events]
+        assert states == [
+            (BreakerState.CLOSED, BreakerState.OPEN),
+            (BreakerState.OPEN, BreakerState.HALF_OPEN),
+            (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+        ]
+
+    def test_metrics_mirrored_to_registry(self):
+        registry = MetricsRegistry()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, probe_interval=2),
+            registry=registry,
+        )
+        _fail_jobs(breaker, 1)
+        assert not breaker.allow()
+        assert breaker.allow()  # probe
+        breaker.record_failure()
+        snap = registry.snapshot()
+        counters = snap["counters"]
+        transitions = names.RESILIENCE_BREAKER_TRANSITIONS
+        assert counters[f"{transitions}{{to=open}}"] == 2
+        assert counters[f"{transitions}{{to=half_open}}"] == 1
+        assert (
+            counters[names.RESILIENCE_BREAKER_SHORT_CIRCUITS] == 1
+        )
+        assert counters[names.RESILIENCE_BREAKER_PROBES] == 1
+        assert snap["gauges"][names.RESILIENCE_BREAKER_STATE] == 2

@@ -1,0 +1,167 @@
+"""Tests for the checkpoint journal: atomicity, CRCs, resume, stitch."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.durability.journal import (
+    MANIFEST_NAME,
+    JournalError,
+    RunJournal,
+    atomic_write_bytes,
+)
+from repro.genome.sam import SamRecord, write_sam
+
+FP = {"version": 1, "engine": "seedex", "reads_sha256": "abc"}
+
+
+def _records(start: int, count: int) -> list[SamRecord]:
+    return [
+        SamRecord(
+            qname=f"read{start + i}",
+            flag=0,
+            rname="chr1",
+            pos=100 + start + i,
+            mapq=60,
+            cigar="4M",
+            seq="ACGT",
+        )
+        for i in range(count)
+    ]
+
+
+class TestAtomicWrite:
+    def test_writes_bytes(self, tmp_path):
+        path = tmp_path / "x.bin"
+        atomic_write_bytes(path, b"hello")
+        assert path.read_bytes() == b"hello"
+
+    def test_replaces_existing(self, tmp_path):
+        path = tmp_path / "x.bin"
+        path.write_bytes(b"old")
+        atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_no_tmp_litter(self, tmp_path):
+        atomic_write_bytes(tmp_path / "x.bin", b"data")
+        assert [p.name for p in tmp_path.iterdir()] == ["x.bin"]
+
+
+class TestCreate:
+    def test_create_writes_manifest(self, tmp_path):
+        journal = RunJournal.create(tmp_path / "run", FP, 3)
+        assert (tmp_path / "run" / MANIFEST_NAME).exists()
+        assert journal.completed == frozenset()
+        assert not journal.is_complete()
+
+    def test_refuses_existing_journal(self, tmp_path):
+        RunJournal.create(tmp_path / "run", FP, 3)
+        with pytest.raises(JournalError, match="already holds"):
+            RunJournal.create(tmp_path / "run", FP, 3)
+
+
+class TestRecord:
+    def test_record_commits_segment(self, tmp_path):
+        journal = RunJournal.create(tmp_path, FP, 2)
+        journal.record(0, _records(0, 3))
+        assert journal.completed == frozenset({0})
+        assert journal.segment_path(0).exists()
+
+    def test_record_is_idempotent(self, tmp_path):
+        journal = RunJournal.create(tmp_path, FP, 2)
+        journal.record(0, _records(0, 3))
+        before = journal.segment_path(0).read_bytes()
+        journal.record(0, _records(5, 3))  # different payload: ignored
+        assert journal.segment_path(0).read_bytes() == before
+
+    def test_record_outside_plan_rejected(self, tmp_path):
+        journal = RunJournal.create(tmp_path, FP, 2)
+        with pytest.raises(JournalError, match="outside plan"):
+            journal.record(7, _records(0, 1))
+
+    def test_complete_after_all_windows(self, tmp_path):
+        journal = RunJournal.create(tmp_path, FP, 2)
+        journal.record(0, _records(0, 2))
+        journal.record(1, _records(2, 2))
+        assert journal.is_complete()
+
+
+class TestResume:
+    def test_resume_sees_committed_windows(self, tmp_path):
+        journal = RunJournal.create(tmp_path, FP, 3)
+        journal.record(1, _records(4, 2))
+        reopened, dropped = RunJournal.resume(tmp_path, FP, 3)
+        assert reopened.completed == frozenset({1})
+        assert dropped == []
+
+    def test_resume_without_manifest_rejected(self, tmp_path):
+        with pytest.raises(JournalError, match="no journal manifest"):
+            RunJournal.resume(tmp_path, FP, 3)
+
+    def test_fingerprint_drift_rejected(self, tmp_path):
+        RunJournal.create(tmp_path, FP, 3)
+        drifted = dict(FP, engine="full")
+        with pytest.raises(JournalError, match="configuration changed"):
+            RunJournal.resume(tmp_path, drifted, 3)
+
+    def test_window_plan_drift_rejected(self, tmp_path):
+        RunJournal.create(tmp_path, FP, 3)
+        with pytest.raises(JournalError, match="window plan changed"):
+            RunJournal.resume(tmp_path, FP, 4)
+
+    def test_manifest_corruption_rejected(self, tmp_path):
+        RunJournal.create(tmp_path, FP, 3)
+        manifest = tmp_path / MANIFEST_NAME
+        wrapper = json.loads(manifest.read_text())
+        wrapper["payload"]["total_windows"] = 99  # CRC now stale
+        manifest.write_text(json.dumps(wrapper))
+        with pytest.raises(JournalError, match="CRC"):
+            RunJournal.resume(tmp_path, FP, 3)
+
+    def test_corrupt_segment_dropped_and_recomputed(self, tmp_path):
+        journal = RunJournal.create(tmp_path, FP, 3)
+        journal.record(0, _records(0, 2))
+        journal.record(1, _records(2, 2))
+        journal.segment_path(1).write_bytes(b"garbage\n")
+        reopened, dropped = RunJournal.resume(tmp_path, FP, 3)
+        assert dropped == [1]
+        assert reopened.completed == frozenset({0})
+        assert not reopened.segment_path(1).exists()
+
+    def test_missing_segment_dropped(self, tmp_path):
+        journal = RunJournal.create(tmp_path, FP, 2)
+        journal.record(0, _records(0, 2))
+        journal.segment_path(0).unlink()
+        reopened, dropped = RunJournal.resume(tmp_path, FP, 2)
+        assert dropped == [0]
+        assert reopened.completed == frozenset()
+
+
+class TestStitch:
+    def test_stitch_matches_write_sam(self, tmp_path):
+        records = _records(0, 7)
+        journal = RunJournal.create(tmp_path, FP, 3)
+        journal.record(0, records[0:3])
+        journal.record(2, records[6:7])  # out-of-order commits are fine
+        journal.record(1, records[3:6])
+        out = tmp_path / "out.sam"
+        journal.stitch_to(out, "chr1", 1000)
+        buf = io.StringIO()
+        write_sam(buf, records, "chr1", 1000)
+        assert out.read_text() == buf.getvalue()
+
+    def test_stitch_refuses_incomplete(self, tmp_path):
+        journal = RunJournal.create(tmp_path, FP, 2)
+        journal.record(0, _records(0, 2))
+        with pytest.raises(JournalError, match="incomplete"):
+            journal.stitch_to(tmp_path / "out.sam", "chr1", 1000)
+
+    def test_stitch_detects_late_corruption(self, tmp_path):
+        journal = RunJournal.create(tmp_path, FP, 1)
+        journal.record(0, _records(0, 2))
+        journal.segment_path(0).write_bytes(b"tampered\n")
+        with pytest.raises(JournalError, match="CRC"):
+            journal.stitch_to(tmp_path / "out.sam", "chr1", 1000)

@@ -7,6 +7,7 @@ import pytest
 from repro.genome.io_fasta import (
     FastaRecord,
     FastqRecord,
+    MalformedRecordError,
     parse_fasta,
     parse_fastq,
     write_fasta,
@@ -67,6 +68,83 @@ class TestFastq:
     def test_bad_separator_rejected(self):
         with pytest.raises(ValueError):
             list(parse_fastq(io.StringIO("@r1\nACGT\nIIII\nIIII\n")))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MalformedRecordError, match="quality length"):
+            list(parse_fastq(io.StringIO("@r1\nACGT\n+\nII\n")))
+
+
+class TestMalformedRecordError:
+    def test_carries_location(self):
+        bad = io.StringIO("@r1\nACGT\n+\nIIII\nr2\nTT\n+\n##\n")
+        with pytest.raises(MalformedRecordError) as excinfo:
+            list(parse_fastq(bad, path="reads.fq"))
+        err = excinfo.value
+        assert err.path == "reads.fq"
+        assert err.line == 5
+        assert "bad FASTQ header" in err.reason
+        assert str(err).startswith("reads.fq:5:")
+
+    def test_stream_path_placeholder(self):
+        err = MalformedRecordError("broken", line=3)
+        assert err.path is None
+        assert str(err) == "<stream>:3: broken"
+
+    def test_is_a_value_error(self):
+        assert issubclass(MalformedRecordError, ValueError)
+
+
+class TestFastqQuarantineMode:
+    """``on_bad`` parsing: report, resync, keep going."""
+
+    def _parse(self, text):
+        bad = []
+        records = list(parse_fastq(io.StringIO(text), on_bad=bad.append))
+        return records, bad
+
+    def test_clean_stream_reports_nothing(self):
+        records, bad = self._parse("@r1\nACGT\n+\nIIII\n")
+        assert [r.name for r in records] == ["r1"]
+        assert bad == []
+
+    def test_missing_separator_skips_only_bad_record(self):
+        text = "@r1\nACGT\nIIII\n@r2\nTTTT\n+\n####\n"
+        records, bad = self._parse(text)
+        assert [r.name for r in records] == ["r2"]
+        assert len(bad) == 1
+        assert "separator" in bad[0].reason
+
+    def test_length_mismatch_skips_only_bad_record(self):
+        text = "@r1\nACGT\n+\nII\n@r2\nTT\n+\n##\n"
+        records, bad = self._parse(text)
+        assert [r.name for r in records] == ["r2"]
+        assert "quality length" in bad[0].reason
+
+    def test_quality_line_starting_with_at_not_a_header(self):
+        # r1's quality line begins with '@' but is not a record start;
+        # resync must not treat it as one.
+        text = "@r1\nACGT\nIIII\n@@II\n@r2\nTT\n+\n##\n"
+        records, bad = self._parse(text)
+        assert [r.name for r in records] == ["r2"]
+        assert len(bad) == 1
+
+    def test_trailing_garbage_reported_not_eaten(self):
+        text = "@r1\nACGT\n+\nIIII\n@r2\nTTTT\n"
+        records, bad = self._parse(text)
+        assert [r.name for r in records] == ["r1"]
+        assert len(bad) == 1
+        assert "r2" in bad[0].reason
+
+    def test_bad_record_between_good_ones(self):
+        text = (
+            "@r1\nAC\n+\n##\n"
+            "@bad\nACGT\n+\nII\n"
+            "@r2\nGG\n+\n!!\n"
+        )
+        records, bad = self._parse(text)
+        assert [r.name for r in records] == ["r1", "r2"]
+        assert len(bad) == 1
+        assert "bad" in bad[0].reason
 
 
 class TestSam:

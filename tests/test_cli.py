@@ -229,3 +229,97 @@ class TestObservability:
         assert "aligner.reads.total" in out
         assert "== histograms ==" in out
         assert "p50" in out
+
+
+class TestDurableCli:
+    def _sam_bytes(self, path):
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def test_durable_run_matches_plain_align(self, workload, tmp_path):
+        _, ref, reads = workload
+        plain = str(tmp_path / "plain.sam")
+        durable = str(tmp_path / "durable.sam")
+        main(["align", "--reference", ref, "--reads", reads,
+              "--out", plain, "--batch-size", "8"])
+        rc = main(["align", "--reference", ref, "--reads", reads,
+                   "--out", durable, "--batch-size", "8",
+                   "--workers", "2",
+                   "--run-dir", str(tmp_path / "run")])
+        assert rc == 0
+        assert self._sam_bytes(durable) == self._sam_bytes(plain)
+        assert (tmp_path / "run" / "manifest.json").exists()
+
+    def test_reusing_run_dir_without_resume_errors(
+        self, workload, tmp_path
+    ):
+        _, ref, reads = workload
+        out = str(tmp_path / "out.sam")
+        argv = ["align", "--reference", ref, "--reads", reads,
+                "--out", out, "--batch-size", "8",
+                "--run-dir", str(tmp_path / "run")]
+        assert main(argv) == 0
+        with pytest.raises(SystemExit, match="already holds"):
+            main(argv)
+
+    def test_resume_of_finished_run_reuses_every_window(
+        self, workload, tmp_path, capsys
+    ):
+        _, ref, reads = workload
+        out = str(tmp_path / "out.sam")
+        argv = ["align", "--reference", ref, "--reads", reads,
+                "--out", out, "--batch-size", "8",
+                "--run-dir", str(tmp_path / "run")]
+        assert main(argv) == 0
+        first = self._sam_bytes(out)
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        assert "windows reused from the journal" in capsys.readouterr().out
+        assert self._sam_bytes(out) == first
+
+    def test_resume_without_run_dir_rejected(self, workload, tmp_path):
+        _, ref, reads = workload
+        with pytest.raises(SystemExit, match="--resume needs"):
+            main(["align", "--reference", ref, "--reads", reads,
+                  "--out", str(tmp_path / "x.sam"), "--resume"])
+
+
+class TestBadRecordPolicy:
+    CORRUPT = (
+        "@good1\nACGTACGT\n+\nIIIIIIII\n"
+        "@broken\nACGT\nIIII\n"          # missing '+' separator
+        "@good2\nTTTTACGT\n+\n########\n"
+    )
+
+    def _workload(self, tmp_path):
+        ref = tmp_path / "ref.fasta"
+        ref.write_text(">chr1\n" + "ACGTTGCA" * 200 + "\n")
+        reads = tmp_path / "reads.fastq"
+        reads.write_text(self.CORRUPT)
+        return str(ref), str(reads)
+
+    def test_fail_policy_aborts(self, tmp_path):
+        ref, reads = self._workload(tmp_path)
+        with pytest.raises(SystemExit, match="on-bad-record"):
+            main(["align", "--reference", ref, "--reads", reads,
+                  "--out", str(tmp_path / "x.sam")])
+
+    def test_quarantine_policy_skips_and_reports(
+        self, tmp_path, capsys
+    ):
+        ref, reads = self._workload(tmp_path)
+        out = tmp_path / "out.sam"
+        rc = main(["align", "--reference", ref, "--reads", reads,
+                   "--out", str(out), "--on-bad-record", "quarantine",
+                   "--run-dir", str(tmp_path / "run")])
+        assert rc == 0
+        assert "skipped bad record" in capsys.readouterr().err
+        body = [
+            line for line in out.read_text().splitlines()
+            if not line.startswith("@")
+        ]
+        assert [line.split("\t")[0] for line in body] == [
+            "good1", "good2"
+        ]
+        sidecar = (tmp_path / "run" / "bad_records.tsv").read_text()
+        assert "separator" in sidecar
