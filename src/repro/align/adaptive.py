@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.align.scoring import AffineGap
+from repro.genome.sequence import AMBIGUOUS_CODE
 
 
 @dataclass(frozen=True)
@@ -106,7 +107,11 @@ def adaptive_extend(
             e_row[seg] = np.maximum(
                 0, np.maximum(h_prev[seg] - go, e_prev[seg]) - ge_d
             )
-            sub = np.where(target[i - 1] == query[lo2 - 1 : hi], m, -x)
+            tc = target[i - 1]
+            # N never matches anything, itself included.
+            sub = np.where(
+                (tc == query[lo2 - 1 : hi]) & (tc != AMBIGUOUS_CODE), m, -x
+            )
             pred = h_prev[lo2 - 1 : hi]
             diag = np.where(pred > 0, pred + sub, 0)
             g = np.maximum(diag, e_row[seg])

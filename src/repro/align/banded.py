@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.align.scoring import AffineGap
+from repro.genome.sequence import AMBIGUOUS_CODE
 
 
 @dataclass(frozen=True)
@@ -143,6 +144,12 @@ def extend(
 
     n_boundary = boundary_length(qlen, tlen, w)
     boundary_e = np.zeros(n_boundary, dtype=np.int64)
+    if n_boundary > 0 and w == 0:
+        # Degenerate band: the first shaded cell is (1, 0) and its
+        # incoming E extends row 0's seed cell — the row loop below
+        # captures at bj = i - w from i >= 1 only, so row 0's capture
+        # must happen here (mirrors globalband.global_align).
+        boundary_e[0] = max(0, h0 - go - ge_d)
     n_upper = upper_boundary_length(qlen, tlen, w)
     boundary_f = np.zeros(n_upper, dtype=np.int64)
     if n_upper > 0:
@@ -210,7 +217,15 @@ def extend(
             d_lo = max(1, scan_lo)
             if d_lo <= hi2:
                 pred = h_prev[d_lo - 1 : hi2]
-                sub = np.where(target[i - 1] == query[d_lo - 1 : hi2], m, -x)
+                # N never matches anything, itself included — the same
+                # semantics as AffineGap.substitution and the dense
+                # oracle.
+                tc = target[i - 1]
+                sub = np.where(
+                    (tc == query[d_lo - 1 : hi2]) & (tc != AMBIGUOUS_CODE),
+                    m,
+                    -x,
+                )
                 g[d_lo - scan_lo :] = np.where(pred > 0, pred + sub, 0)
             np.maximum(g, e_row[scan_lo : hi2 + 1], out=g)
             if init_col:

@@ -26,6 +26,7 @@ from repro.align.banded import (
     upper_boundary_length,
 )
 from repro.align.scoring import AffineGap
+from repro.genome.sequence import AMBIGUOUS_CODE
 
 _PAD = 64
 """Query pad code: outside the 3-bit alphabet, never equal to a base."""
@@ -104,6 +105,12 @@ def extend_batch(
     )
     boundary_e = np.zeros((n, max(1, int(n_bound.max(initial=0)))),
                           dtype=np.int64)
+    if w == 0:
+        # Degenerate band: row 0's boundary-E capture at (1, 0) — the
+        # row loop only captures bj = i - w from i >= 1 (see the
+        # matching special case in the scalar kernel).
+        first = n_bound > 0
+        boundary_e[first, 0] = np.maximum(0, h0v[first] - go - ge_d)
     n_upper = np.array(
         [
             upper_boundary_length(int(qlens[k]), int(tlens[k]), w)
@@ -143,7 +150,8 @@ def extend_batch(
 
         # Diagonal.
         tchar = tpad[:, i - 1][:, None]
-        sub = np.where(tchar == qpad, m, -x)
+        # N never matches (matching the scalar kernel and the oracle).
+        sub = np.where((tchar == qpad) & (tchar != AMBIGUOUS_CODE), m, -x)
         diag = np.zeros((n, max_q + 1), dtype=np.int64)
         diag[:, 1:] = np.where(
             h_prev[:, :-1] > 0, h_prev[:, :-1] + sub, 0

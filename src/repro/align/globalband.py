@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.align.fullmatrix import NEG_INF
 from repro.align.scoring import AffineGap
+from repro.genome.sequence import AMBIGUOUS_CODE
 
 
 @dataclass(frozen=True)
@@ -129,7 +130,11 @@ def global_align(
         if lo2 <= hi:
             seg = slice(lo2, hi + 1)
             e_row[seg] = np.maximum(h_prev[seg] - go, e_prev[seg]) - ge_d
-            sub = np.where(target[i - 1] == query[lo2 - 1 : hi], m, -x)
+            tc = target[i - 1]
+            # N never matches anything, itself included.
+            sub = np.where(
+                (tc == query[lo2 - 1 : hi]) & (tc != AMBIGUOUS_CODE), m, -x
+            )
             diag = h_prev[lo2 - 1 : hi] + sub
             g = np.maximum(diag, e_row[seg])
             # F scan: the only possible left influx into the segment is

@@ -19,9 +19,7 @@ from typing import Protocol
 import numpy as np
 
 from repro import obs
-from repro.align import banded
 from repro.align.banded import ExtensionResult
-from repro.align.batchdp import extend_batch
 from repro.align.scoring import BWA_MEM_SCORING, AffineGap
 from repro.aligner.cache import (
     DEFAULT_MAX_ENTRIES,
@@ -30,11 +28,14 @@ from repro.aligner.cache import (
 )
 from repro.core.checker import CheckConfig
 from repro.core.extender import SeedExtender
+from repro.kernels import get_kernel
 from repro.obs import names
 from repro.obs.metrics import MetricsRegistry
 
 
-def _account(name: str, cells: int, jobs: int = 1) -> None:
+def _account(
+    name: str, cells: int, jobs: int = 1, kernel: str | None = None
+) -> None:
     """Per-engine counters in the global registry (when enabled)."""
     if obs.enabled():
         reg = obs.get_registry()
@@ -44,6 +45,12 @@ def _account(name: str, cells: int, jobs: int = 1) -> None:
         reg.counter(
             names.ENGINE_CELLS, "DP cells filled", engine=name
         ).inc(cells)
+        if kernel is not None and jobs:
+            reg.counter(
+                names.KERNEL_EXTENSIONS,
+                "extension jobs per DP backend",
+                kernel=kernel,
+            ).inc(jobs)
 
 
 class ExtensionEngine(Protocol):
@@ -61,18 +68,23 @@ class ExtensionEngine(Protocol):
 class FullBandEngine:
     """The reference software kernel: always the full band."""
 
-    def __init__(self, scoring: AffineGap = BWA_MEM_SCORING) -> None:
+    def __init__(
+        self,
+        scoring: AffineGap = BWA_MEM_SCORING,
+        kernel=None,
+    ) -> None:
         self.name = "full-band"
         self.scoring = scoring
+        self.kernel = get_kernel(kernel)
         self.extensions = 0
         self.cells = 0
 
     def extend(self, query, target, h0):
         """Full-band extension: the ground-truth result."""
         self.extensions += 1
-        res = banded.extend(query, target, self.scoring, h0)
+        res = self.kernel.extend(query, target, self.scoring, h0)
         self.cells += res.cells_computed
-        _account(self.name, res.cells_computed)
+        _account(self.name, res.cells_computed, kernel=self.kernel.name)
         return res
 
 
@@ -80,22 +92,28 @@ class PlainBandedEngine:
     """A fixed narrow band with no optimality checks (unsound)."""
 
     def __init__(
-        self, band: int, scoring: AffineGap = BWA_MEM_SCORING
+        self,
+        band: int,
+        scoring: AffineGap = BWA_MEM_SCORING,
+        kernel=None,
     ) -> None:
         if band < 1:
             raise ValueError("band must be at least 1")
         self.name = f"banded-w{band}"
         self.band = band
         self.scoring = scoring
+        self.kernel = get_kernel(kernel)
         self.extensions = 0
         self.cells = 0
 
     def extend(self, query, target, h0):
         """Narrow-band extension with no optimality guarantee."""
         self.extensions += 1
-        res = banded.extend(query, target, self.scoring, h0, w=self.band)
+        res = self.kernel.extend(
+            query, target, self.scoring, h0, w=self.band
+        )
         self.cells += res.cells_computed
-        _account(self.name, res.cells_computed)
+        _account(self.name, res.cells_computed, kernel=self.kernel.name)
         return res
 
 
@@ -105,10 +123,12 @@ class BatchedEngine:
     The accelerator consumes thousands of independent extensions at a
     time (paper Section V-B); this engine is the software analogue.
     :meth:`extend_wave` pushes a whole wave of ``(query, target, h0)``
-    jobs through the lockstep kernel (:mod:`repro.align.batchdp`),
-    vectorizing across jobs x columns, with per-job results bit-equal
-    to the scalar kernel (``banded.extend(..., prune=False)``) —
-    property-tested in ``tests/aligner/test_batched_engine.py``.
+    jobs through the backend's batch kernel — the row-lockstep
+    :mod:`repro.align.batchdp` on the scalar backend, the fused
+    anti-diagonal :mod:`repro.kernels.wavefront` on the numpy one —
+    with per-job results bit-equal to the scalar kernel
+    (``banded.extend(..., prune=False)``), property-tested in
+    ``tests/aligner/test_batched_engine.py`` and ``tests/kernels/``.
 
     With the default ``band=None`` every job runs the full band, so
     SAM output through this engine is byte-identical to
@@ -128,12 +148,14 @@ class BatchedEngine:
         band: int | None = None,
         scoring: AffineGap = BWA_MEM_SCORING,
         cache_entries: int = DEFAULT_MAX_ENTRIES,
+        kernel=None,
     ) -> None:
         if band is not None and band < 1:
             raise ValueError("band must be at least 1 (or None)")
         self.name = "batched-full" if band is None else f"batched-w{band}"
         self.band = band
         self.scoring = scoring
+        self.kernel = get_kernel(kernel)
         self.cache = (
             ExtensionCache(cache_entries) if cache_entries else None
         )
@@ -163,11 +185,13 @@ class BatchedEngine:
         if hit is not None:
             _account(self.name, 0)
             return hit
-        res = banded.extend(query, target, self.scoring, h0, w=self.band)
+        res = self.kernel.extend(
+            query, target, self.scoring, h0, w=self.band
+        )
         if self.cache is not None:
             self.cache.put(key, res)
         self.cells += res.cells_computed
-        _account(self.name, res.cells_computed)
+        _account(self.name, res.cells_computed, kernel=self.kernel.name)
         return res
 
     def extend_wave(self, jobs) -> list[ExtensionResult]:
@@ -190,7 +214,7 @@ class BatchedEngine:
         if pending:
             unique = [jobs[owners[0]] for owners in pending.values()]
             with obs.span(names.SPAN_EXTEND_BATCH, jobs=len(unique)):
-                computed = extend_batch(
+                computed = self.kernel.extend_batch(
                     [q for q, _, _ in unique],
                     [t for _, t, _ in unique],
                     [h0 for _, _, h0 in unique],
@@ -207,7 +231,9 @@ class BatchedEngine:
             self.cells += cells
             _account(self.name, cells, jobs=0)
         if obs.enabled() and jobs:
-            _account(self.name, 0, jobs=len(jobs))
+            _account(
+                self.name, 0, jobs=len(jobs), kernel=self.kernel.name
+            )
         return results
 
 
@@ -220,12 +246,22 @@ class SeedExEngine:
         scoring: AffineGap = BWA_MEM_SCORING,
         config: CheckConfig | None = None,
         registry: MetricsRegistry | None = None,
+        kernel=None,
     ) -> None:
         self.name = f"seedex-w{band}"
         self.band = band
         self._extender = SeedExtender(
-            band=band, scoring=scoring, config=config, registry=registry
+            band=band,
+            scoring=scoring,
+            config=config,
+            registry=registry,
+            kernel=kernel,
         )
+
+    @property
+    def kernel(self):
+        """The DP backend this engine's extender runs on."""
+        return self._extender.kernel
 
     @property
     def scoring(self) -> AffineGap:
@@ -245,7 +281,11 @@ class SeedExEngine:
     def extend(self, query, target, h0):
         """Guaranteed-optimal extension (checks + rerun)."""
         out = self._extender.extend(query, target, h0)
-        _account(self.name, out.narrow_result.cells_computed)
+        _account(
+            self.name,
+            out.narrow_result.cells_computed,
+            kernel=self.kernel.name,
+        )
         return out.result
 
 

@@ -103,12 +103,15 @@ class EngineSpec:
     resilient dispatcher, each worker running its own injector (same
     seed, disjoint job streams).  ``breaker_threshold`` (``None`` =
     off) arms the accelerator circuit breaker inside that dispatcher
-    — see :mod:`repro.durability.breaker`.
+    — see :mod:`repro.durability.breaker`.  ``kernel`` names the DP
+    backend (``scalar``/``numpy``; ``None`` = environment default) —
+    a name rather than an instance so the spec stays picklable.
     """
 
     kind: str = "full"
     band: int | None = None
     cache_entries: int = DEFAULT_MAX_ENTRIES
+    kernel: str | None = None
     chaos: bool = False
     fault_rate: float = 0.01
     fault_seed: int = 0
@@ -129,19 +132,22 @@ class EngineSpec:
 
         registry = obs.get_registry() if obs.enabled() else None
         if self.kind == "full":
-            engine = FullBandEngine()
+            engine = FullBandEngine(kernel=self.kernel)
         elif self.kind == "banded":
             if self.band is None:
                 raise ValueError("kind='banded' needs a band")
-            engine = PlainBandedEngine(self.band)
+            engine = PlainBandedEngine(self.band, kernel=self.kernel)
         elif self.kind == "batched":
             engine = BatchedEngine(
-                band=self.band, cache_entries=self.cache_entries
+                band=self.band,
+                cache_entries=self.cache_entries,
+                kernel=self.kernel,
             )
         elif self.kind == "seedex":
             engine = SeedExEngine(
                 band=self.band if self.band is not None else 41,
                 registry=registry,
+                kernel=self.kernel,
             )
         else:
             raise ValueError(f"unknown engine kind {self.kind!r}")

@@ -59,6 +59,7 @@ from repro.genome.synth import (
     ReadSimulator,
     synthesize_reference,
 )
+from repro.kernels import available_kernels, get_kernel
 
 PROFILES = {"platinum": PLATINUM_LIKE, "clean": CLEAN}
 
@@ -135,6 +136,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 32, backed off while probes keep failing)",
     )
 
+    kernel_opts = argparse.ArgumentParser(add_help=False)
+    kernel_opts.add_argument(
+        "--kernel",
+        choices=available_kernels(),
+        default=None,
+        help="DP kernel backend: 'scalar' (reference implementation) "
+        "or 'numpy' (vectorized anti-diagonal); default from "
+        "$REPRO_KERNEL, else scalar.  Alignment output is "
+        "bit-identical either way — only the @PG header line records "
+        "the choice (see docs/kernels.md)",
+    )
+
     sim = sub.add_parser(
         "simulate",
         help="generate a synthetic workload",
@@ -155,7 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     aln = sub.add_parser(
         "align",
         help="align reads to a reference",
-        parents=[obs_opts, chaos_opts],
+        parents=[obs_opts, chaos_opts, kernel_opts],
     )
     aln.add_argument("--reference", required=True)
     aln.add_argument("--reads", required=True)
@@ -237,7 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     ana = sub.add_parser(
         "analyze",
         help="check passing rates for a band",
-        parents=[obs_opts, chaos_opts],
+        parents=[obs_opts, chaos_opts, kernel_opts],
     )
     ana.add_argument("--reference", required=True)
     ana.add_argument("--reads", required=True)
@@ -268,17 +281,39 @@ def _load_reference(path: str) -> tuple[str, np.ndarray]:
     return rec.name, encode(rec.sequence)
 
 
+def _resolve_kernel(args: argparse.Namespace) -> str:
+    """The active DP backend's name; records the ``kernel.active`` gauge."""
+    from repro.obs import names as mn
+
+    name = get_kernel(getattr(args, "kernel", None)).name
+    if obs.enabled():
+        obs.get_registry().gauge(
+            mn.KERNEL_ACTIVE,
+            "selected DP kernel backend",
+            kernel=name,
+        ).set(1)
+    return name
+
+
+def _program_tags(args: argparse.Namespace) -> tuple[str, ...]:
+    """Extra ``@PG`` fields recording the run's DP backend."""
+    return (f"DS:kernel={_resolve_kernel(args)}",)
+
+
 def _make_engine(args: argparse.Namespace):
     registry = obs.get_registry() if obs.enabled() else None
+    kernel = getattr(args, "kernel", None)
     if args.engine == "seedex":
-        return SeedExEngine(band=args.band, registry=registry)
+        return SeedExEngine(
+            band=args.band, registry=registry, kernel=kernel
+        )
     if args.engine == "full":
-        return FullBandEngine()
+        return FullBandEngine(kernel=kernel)
     if args.engine == "batched":
         # Full band through the wave scheduler: byte-identical to
         # --engine full, so --band does not apply here.
-        return BatchedEngine()
-    return PlainBandedEngine(args.band)
+        return BatchedEngine(kernel=kernel)
+    return PlainBandedEngine(args.band, kernel=kernel)
 
 
 def _engine_spec(args: argparse.Namespace):
@@ -291,6 +326,9 @@ def _engine_spec(args: argparse.Namespace):
     return EngineSpec(
         kind=args.engine,
         band=band,
+        # Resolved to a concrete name here so workers do not depend on
+        # the parent's environment.
+        kernel=get_kernel(getattr(args, "kernel", None)).name,
         chaos=getattr(args, "chaos", False),
         fault_rate=args.fault_rate,
         fault_seed=args.fault_seed,
@@ -476,7 +514,10 @@ def cmd_align(args: argparse.Namespace) -> int:
             records.extend([r1, r2])
         elapsed = time.perf_counter() - start
         with open(args.out, "w") as handle:
-            write_sam(handle, records, name, len(reference))
+            write_sam(
+                handle, records, name, len(reference),
+                program_tags=_program_tags(args),
+            )
         mapped = sum(1 for r in records if not r.is_unmapped)
         print(
             f"aligned {len(records) // 2} pairs ({mapped} mates mapped, "
@@ -503,7 +544,10 @@ def cmd_align(args: argparse.Namespace) -> int:
         ]
     elapsed = time.perf_counter() - start
     with open(args.out, "w") as handle:
-        write_sam(handle, records, name, len(reference))
+        write_sam(
+            handle, records, name, len(reference),
+            program_tags=_program_tags(args),
+        )
     mapped = sum(1 for r in records if not r.is_unmapped)
     print(
         f"aligned {len(records)} reads ({mapped} mapped) in "
@@ -548,7 +592,10 @@ def _align_sharded_cmd(
     )
     elapsed = time.perf_counter() - start
     with open(args.out, "w") as handle:
-        write_sam(handle, records, name, len(reference))
+        write_sam(
+            handle, records, name, len(reference),
+            program_tags=_program_tags(args),
+        )
     mapped = sum(1 for r in records if not r.is_unmapped)
     print(
         f"aligned {len(records)} reads ({mapped} mapped) in "
@@ -615,6 +662,7 @@ def _align_durable_cmd(
                 policy=policy,
                 should_stop=shutdown,
                 start_method=args.start_method,
+                program_tags=_program_tags(args),
                 seeding=args.seeding,
             )
     except RunInterrupted as exc:
@@ -667,7 +715,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     name, reference = _load_reference(args.reference)
     reads = read_fastq(args.reads)
-    base_engine = SeedExEngine(band=args.band, registry=obs.get_registry())
+    kernel_name = _resolve_kernel(args)
+    base_engine = SeedExEngine(
+        band=args.band,
+        registry=obs.get_registry(),
+        kernel=getattr(args, "kernel", None),
+    )
     base_engine.stats.reset()  # this invocation's workload only
     engine, dispatcher = _wrap_chaos(base_engine, args)
     aligner = Aligner(
@@ -681,6 +734,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     total = counters.get(mn.EXTENSIONS_TOTAL, 0)
     rows: list[tuple[str, object]] = [
         ("band", args.band),
+        ("kernel", kernel_name),
         ("extensions", total),
         (
             "threshold-only passing rate",

@@ -27,7 +27,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
-from repro.align import banded
 from repro.align.banded import ExtensionResult
 from repro.align.scoring import BWA_MEM_SCORING, AffineGap
 from repro.core.checker import (
@@ -184,7 +183,10 @@ class SeedExtender:
     Parameters mirror the paper's configuration space: ``band`` is the
     narrow band (the paper picks 41), ``scoring`` the affine-gap scheme
     (BWA-MEM's default), and ``config`` selects check variants for the
-    ablation studies.
+    ablation studies.  ``kernel`` picks the DP backend
+    (:func:`repro.kernels.get_kernel`): a name, an instance, or
+    ``None`` for the environment default — results are bit-identical
+    either way.
     """
 
     def __init__(
@@ -193,12 +195,16 @@ class SeedExtender:
         scoring: AffineGap = BWA_MEM_SCORING,
         config: CheckConfig | None = None,
         registry: MetricsRegistry | None = None,
+        kernel=None,
     ) -> None:
+        from repro.kernels import get_kernel
+
         if band < 1:
             raise ValueError("band must be at least 1")
         self.band = band
         self.scoring = scoring
-        self.checker = OptimalityChecker(scoring, config)
+        self.kernel = get_kernel(kernel)
+        self.checker = OptimalityChecker(scoring, config, kernel=self.kernel)
         self.stats = ExtenderStats(registry)
 
     def extend(
@@ -214,7 +220,7 @@ class SeedExtender:
         estimated band); the default reruns with the complete matrix.
         """
         with obs.span(names.SPAN_EXTEND_NARROW):
-            narrow = banded.extend(
+            narrow = self.kernel.extend(
                 query, target, self.scoring, h0, w=self.band
             )
         with obs.span(names.SPAN_EXTEND_CHECK):
@@ -224,7 +230,7 @@ class SeedExtender:
         if decision.passed:
             return SeedExOutput(narrow, narrow, decision, rerun=False)
         with obs.span(names.SPAN_EXTEND_RERUN):
-            full = banded.extend(
+            full = self.kernel.extend(
                 query, target, self.scoring, h0, w=full_band
             )
         self.stats.record_rerun(full.cells_computed)
@@ -243,16 +249,15 @@ class SeedExtender:
     ) -> list[SeedExOutput]:
         """Batch-vectorized :meth:`extend_batch`.
 
-        All narrow-band runs execute in lockstep through the batched
-        kernel (:mod:`repro.align.batchdp`), the checks run per job,
-        and the failures rerun full-band as a second batch.  Results
-        are bit-identical to :meth:`extend_batch`, just much faster —
-        this is the accelerator-shaped way to drive the model.
+        All narrow-band runs execute in lockstep through the backend's
+        batch kernel, the checks run per job, and the failures rerun
+        full-band as a second batch.  Results are bit-identical to
+        :meth:`extend_batch`, just much faster — this is the
+        accelerator-shaped way to drive the model.
         """
-        from repro.align.batchdp import extend_batch as batch_kernel
-
         if not jobs:
             return []
+        batch_kernel = self.kernel.extend_batch
         queries = [q for q, _, _ in jobs]
         targets = [t for _, t, _ in jobs]
         h0s = [h0 for _, _, h0 in jobs]

@@ -251,6 +251,7 @@ class RunJournal:
         out_path: str | Path,
         reference_name: str,
         reference_length: int,
+        program_tags: tuple[str, ...] = (),
     ) -> None:
         """Write the final SAM: header + every segment, in window order.
 
@@ -269,7 +270,10 @@ class RunJournal:
         import io
 
         head = io.StringIO()
-        write_header(head, reference_name, reference_length)
+        write_header(
+            head, reference_name, reference_length,
+            program_tags=program_tags,
+        )
         parts = [head.getvalue().encode()]
         for window in range(self.total_windows):
             data = self.segment_path(window).read_bytes()

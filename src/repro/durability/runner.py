@@ -174,6 +174,7 @@ def run_journaled(
     poison=None,
     should_stop=None,
     start_method: str | None = None,
+    program_tags: tuple[str, ...] = (),
     **aligner_options,
 ) -> RunReport:
     """Drive one journaled, supervised alignment run to a stitched SAM.
@@ -186,7 +187,8 @@ def run_journaled(
     a later call with ``resume=True`` picks up where this one stopped.
 
     ``reads`` are ``(name, codes)`` pairs (or ``FastqRecord``-like
-    objects); all other knobs are forwarded to
+    objects); ``program_tags`` extends the stitched SAM's ``@PG`` line;
+    all other knobs are forwarded to
     :func:`~repro.aligner.parallel.align_supervised`.
     """
     from repro.aligner.parallel import _normalize_reads, align_supervised
@@ -228,7 +230,10 @@ def run_journaled(
         raise RunInterrupted(
             run_dir, done=len(journal.completed), total=total_windows
         )
-    journal.stitch_to(out_path, reference_name, len(reference))
+    journal.stitch_to(
+        out_path, reference_name, len(reference),
+        program_tags=program_tags,
+    )
     return RunReport(
         run_dir=run_dir,
         total_windows=total_windows,

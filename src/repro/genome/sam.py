@@ -98,16 +98,26 @@ class SamRecord:
 
 
 def write_header(
-    handle: TextIO, reference_name: str, reference_length: int
+    handle: TextIO,
+    reference_name: str,
+    reference_length: int,
+    program_tags: tuple[str, ...] = (),
 ) -> None:
     """Write the minimal single-reference SAM header.
 
     Factored out of :func:`write_sam` so the durability layer can
     stitch journaled body segments under the byte-identical header.
+    ``program_tags`` appends extra fields to the ``@PG`` line (the CLI
+    records the active kernel backend there); alignment lines never
+    depend on them, so stripping ``@PG`` recovers byte-comparable
+    bodies across configurations.
     """
     handle.write("@HD\tVN:1.6\tSO:unknown\n")
     handle.write(f"@SQ\tSN:{reference_name}\tLN:{reference_length}\n")
-    handle.write("@PG\tID:repro-seedex\tPN:repro-seedex\n")
+    pg = "@PG\tID:repro-seedex\tPN:repro-seedex"
+    for tag in program_tags:
+        pg += f"\t{tag}"
+    handle.write(pg + "\n")
 
 
 def write_sam(
@@ -115,9 +125,13 @@ def write_sam(
     records: Iterable[SamRecord],
     reference_name: str,
     reference_length: int,
+    program_tags: tuple[str, ...] = (),
 ) -> None:
     """Write a single-reference SAM file with a minimal header."""
-    write_header(handle, reference_name, reference_length)
+    write_header(
+        handle, reference_name, reference_length,
+        program_tags=program_tags,
+    )
     for rec in records:
         handle.write(rec.to_line() + "\n")
 

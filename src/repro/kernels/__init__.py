@@ -1,0 +1,138 @@
+"""Kernel backends: pluggable implementations of the DP hot loops.
+
+Every compute-heavy primitive the pipeline runs — the banded
+extension fill, its batched form, the relaxed-edit trapezoid sweep,
+the S1/S2 threshold math — goes through a :class:`KernelBackend`.
+Two implementations ship:
+
+* ``scalar`` (:mod:`repro.kernels.scalar`) — the original row-oriented
+  kernels, the default;
+* ``numpy`` (:mod:`repro.kernels.wavefront`) — anti-diagonal
+  (wavefront) kernels that vectorize along the dependency-free
+  diagonals, the way the accelerator's systolic array does.
+
+Backends are bit-identical on everything observable (scores, CIGARs,
+boundary channels, thresholds, accept/rerun verdicts) — only the
+execution-shape fields (``cells_computed``, ``terminated_early``) may
+reflect the backend's own schedule.  The cross-kernel conformance
+suite (``tests/kernels/``) enforces this, and CI diffs whole SAM
+files between backends byte for byte.
+
+Selection: pass ``kernel=`` to :class:`~repro.core.extender.SeedExtender`
+or the engines, use the CLI's ``--kernel`` flag, or set the
+``REPRO_KERNEL`` environment variable (the default when nothing is
+passed; unset means ``scalar``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.align.banded import ExtensionResult
+from repro.align.editdp import LeftEntryScores
+from repro.align.scoring import AffineGap
+from repro.core.thresholds import Thresholds
+from repro.kernels.scalar import ScalarKernel
+from repro.kernels.wavefront import WavefrontKernel
+
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+"""Environment variable consulted when no kernel is named explicitly."""
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """The interface every kernel backend implements."""
+
+    name: str
+
+    def extend(
+        self,
+        query: np.ndarray,
+        target: np.ndarray,
+        scoring: AffineGap,
+        h0: int,
+        w: int | None = None,
+    ) -> ExtensionResult:
+        """Run one banded extension job."""
+        ...
+
+    def extend_batch(
+        self,
+        queries: list[np.ndarray],
+        targets: list[np.ndarray],
+        h0s: list[int],
+        scoring: AffineGap,
+        w: int | None = None,
+    ) -> list[ExtensionResult]:
+        """Run a batch of extension jobs, results in input order."""
+        ...
+
+    def left_entry(
+        self,
+        query: np.ndarray,
+        target: np.ndarray,
+        band: int,
+        left_seed: Callable[[int], int] | int,
+        scoring: AffineGap | None = None,
+        top_seed: Callable[[int], int] | None = None,
+    ) -> LeftEntryScores:
+        """Run the relaxed left-entry sweep of the edit check."""
+        ...
+
+    def thresholds(
+        self,
+        scoring: AffineGap,
+        qlen: int,
+        tlen: int,
+        band: int,
+        h0: int,
+    ) -> Thresholds:
+        """Compute the semi-global S1/S2 thresholds."""
+        ...
+
+
+_KERNELS: dict[str, KernelBackend] = {
+    ScalarKernel.name: ScalarKernel(),
+    WavefrontKernel.name: WavefrontKernel(),
+}
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_KERNELS))
+
+
+def get_kernel(
+    kernel: str | KernelBackend | None = None,
+) -> KernelBackend:
+    """Resolve a backend from a name, an instance, or the environment.
+
+    ``None`` consults ``REPRO_KERNEL`` (so CI can flip the whole suite
+    without threading a flag through every call site) and falls back
+    to ``scalar``.  An already-built backend passes through untouched,
+    letting tests inject doubles.
+    """
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV_VAR) or ScalarKernel.name
+    if not isinstance(kernel, str):
+        return kernel
+    try:
+        return _KERNELS[kernel]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {kernel!r}; "
+            f"available: {', '.join(available_kernels())}"
+        ) from None
+
+
+__all__ = [
+    "KERNEL_ENV_VAR",
+    "KernelBackend",
+    "ScalarKernel",
+    "WavefrontKernel",
+    "available_kernels",
+    "get_kernel",
+]

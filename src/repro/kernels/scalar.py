@@ -1,0 +1,75 @@
+"""The scalar (row-vectorized) kernel backend.
+
+A thin façade over the repo's original kernels: the per-job banded
+extension (:mod:`repro.align.banded`), the row-lockstep batch kernel
+(:mod:`repro.align.batchdp`), the relaxed left-entry sweep
+(:mod:`repro.align.editdp`) and the scalar S1/S2 threshold math.  This
+is the default backend — selecting it changes nothing about how the
+pipeline computes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.align import banded, batchdp, editdp
+from repro.align.banded import ExtensionResult
+from repro.align.editdp import LeftEntryScores
+from repro.align.scoring import AffineGap
+from repro.core.thresholds import Thresholds, semiglobal_thresholds
+
+
+class ScalarKernel:
+    """Backend that delegates to the original row-oriented kernels."""
+
+    name = "scalar"
+
+    def extend(
+        self,
+        query: np.ndarray,
+        target: np.ndarray,
+        scoring: AffineGap,
+        h0: int,
+        w: int | None = None,
+    ) -> ExtensionResult:
+        """One banded extension through the scalar row kernel."""
+        return banded.extend(query, target, scoring, h0, w=w)
+
+    def extend_batch(
+        self,
+        queries: list[np.ndarray],
+        targets: list[np.ndarray],
+        h0s: list[int],
+        scoring: AffineGap,
+        w: int | None = None,
+    ) -> list[ExtensionResult]:
+        """A batch of extensions through the row-lockstep kernel."""
+        return batchdp.extend_batch(queries, targets, h0s, scoring, w=w)
+
+    def left_entry(
+        self,
+        query: np.ndarray,
+        target: np.ndarray,
+        band: int,
+        left_seed: Callable[[int], int] | int,
+        scoring: AffineGap | None = None,
+        top_seed: Callable[[int], int] | None = None,
+    ) -> LeftEntryScores:
+        """The relaxed-edit trapezoid sweep (row form)."""
+        return editdp.left_entry_scores(
+            query, target, band, left_seed, scoring=scoring,
+            top_seed=top_seed,
+        )
+
+    def thresholds(
+        self,
+        scoring: AffineGap,
+        qlen: int,
+        tlen: int,
+        band: int,
+        h0: int,
+    ) -> Thresholds:
+        """Semi-global S1/S2 thresholds (scalar math)."""
+        return semiglobal_thresholds(scoring, qlen, tlen, band, h0)

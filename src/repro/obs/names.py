@@ -169,6 +169,9 @@ RESILIENCE_BREAKER_SHORT_CIRCUITS = "resilience.breaker.short_circuits"
 RESILIENCE_BREAKER_PROBES = "resilience.breaker.probes"
 """Half-open probe jobs allowed through to the accelerator."""
 
+KERNEL_EXTENSIONS = "kernel.extensions"
+"""Extension jobs served per DP kernel backend (labels: ``kernel``)."""
+
 DURABILITY_WINDOWS_JOURNALED = "durability.windows.journaled"
 """Read windows whose SAM segment was committed to the journal."""
 
@@ -217,6 +220,9 @@ RESILIENCE_BREAKER_STATE = "resilience.breaker.state"
 
 PIPELINE_SHARD_WORKERS = "pipeline.shard.workers"
 """Worker processes the sharded runner fanned out to."""
+
+KERNEL_ACTIVE = "kernel.active"
+"""Set to 1 for the DP kernel backend a run selected (labels: ``kernel``)."""
 
 
 def all_names() -> dict[str, str]:

@@ -15,4 +15,16 @@ settings.register_profile(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
+
+# The CI profile for the cross-kernel conformance suite: still fully
+# deterministic (derandomized ~ fixed seed), but with a deeper example
+# budget than the default.  Selected with --hypothesis-profile=ci.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    max_examples=200,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
 settings.load_profile("repro")

@@ -1,0 +1,181 @@
+"""Hypothesis strategies for the cross-kernel conformance suite.
+
+The kernel backends (:mod:`repro.kernels`) promise bit-identical
+results, so the conformance tests are pure differential properties:
+any input is a test case.  The strategies here are deliberately biased
+toward the inputs where banded DP implementations historically
+diverge — band edges, degenerate sequences, and scores that land
+exactly on the S1/S2 acceptance thresholds:
+
+* **all-N sequences** — the ambiguous code never matches, even
+  against itself, which a naive ``==`` comparison gets wrong;
+* **homopolymers** — every diagonal substitution is a match, so
+  tie-breaking between equal-scoring endpoints is fully exercised;
+* **read longer than reference** — the band's lower-right clamp and
+  the semi-global row ``|i - qlen| <= w`` degenerate;
+* **zero-length extension** — a seed flush against the read end:
+  ``qlen == 0`` jobs must still produce the ``h0`` row semantics;
+* **threshold-edge jobs** — constructed so the narrow-band score
+  lands *exactly* on S1 or S2, where an off-by-one in the threshold
+  comparison flips the accept/rerun verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.align.scoring import BWA_MEM_SCORING, AffineGap
+from repro.genome.sequence import AMBIGUOUS_CODE
+
+EDGE_SCORING = AffineGap(match=1, mismatch=1, gap_open=0, gap_extend=1)
+"""Unit-cost scheme whose score arithmetic makes exact S1/S2 hits easy
+to construct (see :func:`threshold_edge_jobs`)."""
+
+
+@st.composite
+def sequences(draw, min_size: int = 0, max_size: int = 48) -> np.ndarray:
+    """Encoded sequences, biased toward degenerate shapes.
+
+    Roughly half the draws are plain random base strings (including
+    N); the rest are the structured shapes listed in the module
+    docstring.
+    """
+    kind = draw(
+        st.sampled_from(
+            ("random", "random", "random", "all_n", "homopolymer",
+             "alternating")
+        )
+    )
+    n = draw(st.integers(min_size, max_size))
+    if kind == "all_n":
+        return np.full(n, AMBIGUOUS_CODE, dtype=np.uint8)
+    if kind == "homopolymer":
+        base = draw(st.integers(0, 3))
+        return np.full(n, base, dtype=np.uint8)
+    if kind == "alternating":
+        a, b = draw(st.tuples(st.integers(0, 4), st.integers(0, 4)))
+        out = np.full(n, a, dtype=np.uint8)
+        out[1::2] = b
+        return out
+    codes = draw(
+        st.lists(st.integers(0, 4), min_size=n, max_size=n)
+    )
+    return np.array(codes, dtype=np.uint8)
+
+
+def scoring_configs() -> st.SearchStrategy[AffineGap]:
+    """Affine-gap schemes: the production default plus small ones.
+
+    Small magnitudes keep brute-force cross-checks cheap while still
+    covering asymmetric extension costs (including the relaxed-edit
+    shape ``gap_extend_ins=0`` used by the edit machine).
+    """
+    small = st.builds(
+        AffineGap,
+        match=st.integers(1, 2),
+        mismatch=st.integers(0, 4),
+        gap_open=st.integers(0, 6),
+        gap_extend=st.integers(1, 2),
+        gap_extend_ins=st.one_of(st.none(), st.integers(0, 2)),
+        gap_extend_del=st.one_of(st.none(), st.integers(1, 2)),
+    )
+    return st.one_of(st.just(BWA_MEM_SCORING), small)
+
+
+def bands() -> st.SearchStrategy[int]:
+    """Band half-widths, weighted toward the tiny ones where the
+    first/last-diagonal clamps actually bind."""
+    return st.one_of(
+        st.integers(1, 8), st.sampled_from((15, 41))
+    )
+
+
+def h0s(max_value: int = 60) -> st.SearchStrategy[int]:
+    """Seed scores, zero included (the dead-at-origin edge)."""
+    return st.integers(0, max_value)
+
+
+@dataclass(frozen=True)
+class ExtensionJob:
+    """One extension job plus the configuration it should run under."""
+
+    query: np.ndarray
+    target: np.ndarray
+    h0: int
+    scoring: AffineGap
+    band: int
+
+
+@st.composite
+def extension_jobs(draw, max_len: int = 48) -> ExtensionJob:
+    """Full extension jobs biased toward band-edge geometry."""
+    shape = draw(
+        st.sampled_from(
+            ("generic", "generic", "generic", "read_longer",
+             "zero_query", "perfect")
+        )
+    )
+    scoring = draw(scoring_configs())
+    band = draw(bands())
+    h0 = draw(h0s())
+    if shape == "zero_query":
+        query = np.zeros(0, dtype=np.uint8)
+        target = draw(sequences(min_size=1, max_size=12))
+    elif shape == "read_longer":
+        target = draw(sequences(min_size=1, max_size=12))
+        extra = draw(st.integers(1, 12))
+        query = draw(
+            sequences(min_size=len(target) + extra,
+                      max_size=len(target) + extra)
+        )
+    elif shape == "perfect":
+        query = draw(sequences(min_size=1, max_size=max_len))
+        suffix = draw(sequences(min_size=0, max_size=8))
+        target = np.concatenate([query, suffix]).astype(np.uint8)
+    else:
+        query = draw(sequences(min_size=0, max_size=max_len))
+        target = draw(sequences(min_size=1, max_size=max_len + 8))
+    return ExtensionJob(query, target, int(h0), scoring, band)
+
+
+@st.composite
+def threshold_edge_jobs(draw) -> ExtensionJob:
+    """Jobs whose narrow-band score lands exactly on S1 or S2.
+
+    Under :data:`EDGE_SCORING` (``m=1, x=1, go=0, ge=1``) a read that
+    is the target prefix with ``k`` planted mismatches scores
+    ``h0 + qlen - 2k`` along the main diagonal, while
+    ``S1 = h0 - band + (qlen - band)`` and ``S2 = h0 + qlen - band``.
+    Planting ``k = band`` mismatches puts the diagonal score exactly
+    on S1; ``k = band/2`` (even bands) exactly on S2.  Gapped detours
+    can still beat the diagonal — that only moves the score off the
+    edge, never breaks the differential property.
+    """
+    on_s2 = draw(st.booleans())
+    if on_s2:
+        band = 2 * draw(st.integers(1, 3))
+        k = band // 2
+    else:
+        band = draw(st.integers(1, 5))
+        k = band
+    qlen = band + k + 1 + draw(st.integers(0, 4))
+    tail = draw(st.integers(1, 4))
+    target = draw(
+        sequences(min_size=qlen + tail, max_size=qlen + tail)
+    )
+    query = target[:qlen].copy()
+    positions = draw(
+        st.lists(
+            st.integers(0, qlen - 1),
+            min_size=k,
+            max_size=k,
+            unique=True,
+        )
+    )
+    for pos in positions:
+        query[pos] = (int(query[pos]) + 1) % 4
+    h0 = draw(h0s(20))
+    return ExtensionJob(query, target, int(h0), EDGE_SCORING, band)
