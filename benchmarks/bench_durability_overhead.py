@@ -6,8 +6,10 @@ committing each completed read window to the checkpoint journal
 the noise next to the alignment work it checkpoints.  Both arms run
 :func:`align_supervised` single-process over the same corpus; the
 only difference is whether a :class:`RunJournal` is attached.  The
-measured throughputs and overhead land in ``BENCH_durability.json``
-at the repository root.
+measured throughputs and overhead land in
+``bench/results/durability.json`` (formerly ``BENCH_durability.json``
+at the repository root); the :func:`tier1_bench` hook feeds the same
+comparison, sized for CI, into the ``repro bench`` trend file.
 """
 
 from __future__ import annotations
@@ -30,8 +32,47 @@ from repro.genome.synth import (
 
 BATCH = 64
 N_READS = 192
-RESULT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_durability.json"
+RESULT_PATH = (
+    pathlib.Path(__file__).parent.parent / "bench" / "results"
+    / "durability.json"
+)
 _rates: dict[str, float] = {}
+
+
+def tier1_bench(quick: bool = False) -> dict[str, float]:
+    """``repro bench`` hook: reads/s with the journal off vs on."""
+    from repro.bench.timing import best_of
+
+    rng = np.random.default_rng(20260806)
+    reference = synthesize_reference(
+        20_000 if quick else 30_000, rng, repeat_fraction=0.02
+    )
+    sim = ReadSimulator(reference, PLATINUM_LIKE, seed=20260807)
+    reads = sim.simulate(64 if quick else N_READS)
+    # Warm-up: the first alignment pass pays one-time import and
+    # cache costs that would otherwise land entirely on the off leg.
+    _run(reference, reads)
+    off = best_of(
+        lambda: _run(reference, reads), repeats=1 if quick else 2
+    )
+    scratch = tempfile.mkdtemp(prefix="bench-durability-")
+
+    def _journaled():
+        run_dir = tempfile.mkdtemp(dir=scratch)
+        journal = RunJournal.create(
+            run_dir, {"bench": 1}, -(-len(reads) // BATCH)
+        )
+        _run(reference, reads, journal=journal)
+
+    try:
+        on = best_of(_journaled, repeats=1 if quick else 2)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    return {
+        "durability.journal_off.reads_per_s": len(reads) / off,
+        "durability.journal_on.reads_per_s": len(reads) / on,
+        "durability.overhead.fraction": on / off - 1.0,
+    }
 
 
 @pytest.fixture(scope="module")
@@ -79,9 +120,11 @@ def test_journal_on(benchmark, durability_corpus):
 
     off, on = _rates["off"], _rates["on"]
     overhead = off / on - 1.0
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULT_PATH.write_text(
         json.dumps(
             {
+                "schema": 1,
                 "reads": N_READS,
                 "batch_size": BATCH,
                 "reads_per_s_journal_off": off,

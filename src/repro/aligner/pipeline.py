@@ -355,17 +355,23 @@ class Aligner:
                 out.append(self.align_read(codes, name))
         return out
 
-    def align_batched(self, reads, batch_size: int = 4096) -> list[SamRecord]:
+    def align_batched(
+        self, reads, batch_size: int = 4096, progress=None
+    ) -> list[SamRecord]:
         """Align reads through the deferred-extension wave scheduler.
 
         Seeds and chains a window of reads, then dispatches all left
         extensions as one lockstep wave and all right extensions as a
         second wave (:mod:`repro.aligner.waves`).  Output is
-        byte-identical to :meth:`align`, record for record.
+        byte-identical to :meth:`align`, record for record; the
+        optional ``progress(window_index, done, total)`` callback
+        observes window completions without affecting it.
         """
         from repro.aligner.waves import align_batched
 
-        return align_batched(self, reads, batch_size=batch_size)
+        return align_batched(
+            self, reads, batch_size=batch_size, progress=progress
+        )
 
     # -- host-side traceback ------------------------------------------------
 

@@ -317,13 +317,16 @@ def align_window(aligner, window) -> list[SamRecord]:
 
 
 def align_batched(
-    aligner, reads, batch_size: int = DEFAULT_BATCH_SIZE
+    aligner, reads, batch_size: int = DEFAULT_BATCH_SIZE, progress=None
 ) -> list[SamRecord]:
     """Align ``reads`` window by window through the wave scheduler.
 
     ``reads`` may be ``(name, codes)`` pairs or ``SimulatedRead``-like
     objects.  Records come back in input order, byte-identical to
-    ``aligner.align(reads)``.
+    ``aligner.align(reads)``.  ``progress``, when given, is called
+    after each completed window as ``progress(window_index, done,
+    total)`` — it must not mutate the aligner (the scheduler's output
+    stays byte-identical whether a callback is attached or not).
     """
     if batch_size < 1:
         raise ValueError("batch size must be at least 1")
@@ -332,8 +335,10 @@ def align_batched(
         for read in reads
     ]
     records: list[SamRecord] = []
-    for start in range(0, len(normalized), batch_size):
+    for index, start in enumerate(range(0, len(normalized), batch_size)):
         records.extend(
             align_window(aligner, normalized[start : start + batch_size])
         )
+        if progress is not None:
+            progress(index, len(records), len(normalized))
     return records

@@ -1,0 +1,47 @@
+"""Unified benchmark suite: one command, one trend file, one gate.
+
+Perf evidence used to live in ad-hoc ``BENCH_*.json`` snapshots with
+no history — a kernel PR could slow the pipeline (or vice versa) and
+nothing would notice.  This package turns the tier-1 benchmarks plus
+a truth-scored accuracy run into a single ``repro bench`` invocation
+that appends one schema-versioned record (git rev, timestamp, config
+fingerprint, metrics) to ``bench/history.jsonl``:
+
+* **runner** — discovers ``benchmarks/bench_*.py`` modules that
+  export a ``tier1_bench(quick)`` hook (kernel throughput, pipeline
+  throughput, durability + resilience overhead) and runs a fixed-seed
+  accuracy corpus through the scorecard;
+* **history** — the append-only JSONL trend file and the config
+  fingerprint (reusing the durability journal's canonical-JSON CRC)
+  that keys which records are comparable;
+* **gate** — ``repro bench --check``: throughput metrics may not drop
+  more than the tolerance against the rolling same-host baseline, and
+  the correct-locus rate may not drop at all, on pain of a nonzero
+  exit.  Wired into CI so every future perf PR is self-verifying.
+"""
+
+from __future__ import annotations
+
+from repro.bench.gate import GateResult, check_record
+from repro.bench.history import (
+    RECORD_SCHEMA,
+    append_record,
+    config_fingerprint,
+    load_records,
+    new_record,
+)
+from repro.bench.runner import discover_benchmarks, run_suite
+from repro.bench.timing import best_of
+
+__all__ = [
+    "GateResult",
+    "RECORD_SCHEMA",
+    "append_record",
+    "best_of",
+    "check_record",
+    "config_fingerprint",
+    "discover_benchmarks",
+    "load_records",
+    "new_record",
+    "run_suite",
+]

@@ -1,0 +1,149 @@
+"""The regression gate: compare one bench record against its baseline.
+
+Two rules, matching how the two metric families behave:
+
+* **throughput** (any metric ending in ``_per_s``, higher is better)
+  is compared against the *median* of the most recent matching
+  baseline records — same config fingerprint AND same host, because a
+  wall clock only means something on the machine that ran it.  A drop
+  beyond the tolerance fails; with no comparable baseline the metric
+  is skipped with a printed note, never silently.
+* **accuracy** (``accuracy.correct_locus_rate``) is deterministic on
+  the fixed-seed corpus, so it compares across hosts (fingerprint
+  match only) and tolerates *no* drop against the best baseline
+  value; an optional absolute floor catches a bad first record.
+
+Everything else in a record (overhead fractions, unmapped rates) is
+trend data: recorded, printed, not gated.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+THROUGHPUT_SUFFIX = "_per_s"
+"""Metrics with this suffix are gated as throughput (higher better)."""
+
+ACCURACY_METRIC = "accuracy.correct_locus_rate"
+"""The no-drop-allowed accuracy metric."""
+
+DEFAULT_MAX_DROP = 0.10
+"""Default tolerated fractional throughput drop (the gate's X%)."""
+
+BASELINE_WINDOW = 5
+"""Recent matching records the rolling throughput baseline medians."""
+
+
+@dataclass
+class GateResult:
+    """Outcome of one ``--check``: pass/fail plus per-metric lines."""
+
+    ok: bool = True
+    lines: list[str] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+
+    def fail(self, metric: str, line: str) -> None:
+        """Record a failing metric comparison."""
+        self.ok = False
+        self.failures.append(metric)
+        self.lines.append("FAIL  " + line)
+
+    def note(self, line: str) -> None:
+        """Record a passing or informational comparison."""
+        self.lines.append("  ok  " + line)
+
+
+def _matching(record: dict, baseline: list[dict], same_host: bool):
+    out = [
+        r
+        for r in baseline
+        if r.get("fingerprint") == record.get("fingerprint")
+        and (not same_host or r.get("host") == record.get("host"))
+    ]
+    return out[-BASELINE_WINDOW:]
+
+
+def check_record(
+    record: dict,
+    baseline: list[dict],
+    max_drop: float = DEFAULT_MAX_DROP,
+    min_correct_locus: float | None = None,
+) -> GateResult:
+    """Gate ``record`` against the ``baseline`` history records.
+
+    Pure over its inputs (no filesystem, no clock) so the regression
+    behaviour is directly unit-testable: inject a record with a 10%
+    slower kernel and the result must flip to failing.
+    """
+    if not 0 <= max_drop < 1:
+        raise ValueError("max_drop must be in [0, 1)")
+    result = GateResult()
+    metrics = record.get("metrics", {})
+
+    throughput_base = _matching(record, baseline, same_host=True)
+    for name in sorted(metrics):
+        if not name.endswith(THROUGHPUT_SUFFIX):
+            continue
+        values = [
+            r["metrics"][name]
+            for r in throughput_base
+            if name in r.get("metrics", {})
+        ]
+        if not values:
+            result.note(
+                f"{name}: {metrics[name]:,.1f} (no same-host baseline "
+                "with this fingerprint; not gated)"
+            )
+            continue
+        base = statistics.median(values)
+        floor = base * (1.0 - max_drop)
+        line = (
+            f"{name}: {metrics[name]:,.1f} vs baseline median "
+            f"{base:,.1f} over {len(values)} run(s) "
+            f"(floor {floor:,.1f} at -{max_drop:.0%})"
+        )
+        if metrics[name] < floor:
+            result.fail(name, line)
+        else:
+            result.note(line)
+
+    if ACCURACY_METRIC in metrics:
+        rate = metrics[ACCURACY_METRIC]
+        accuracy_base = _matching(record, baseline, same_host=False)
+        values = [
+            r["metrics"][ACCURACY_METRIC]
+            for r in accuracy_base
+            if ACCURACY_METRIC in r.get("metrics", {})
+        ]
+        if values:
+            best = max(values)
+            line = (
+                f"{ACCURACY_METRIC}: {rate:.4f} vs baseline best "
+                f"{best:.4f} (no drop allowed)"
+            )
+            if rate < best:
+                result.fail(ACCURACY_METRIC, line)
+            else:
+                result.note(line)
+        else:
+            result.note(
+                f"{ACCURACY_METRIC}: {rate:.4f} (no baseline with "
+                "this fingerprint; not gated)"
+            )
+        if min_correct_locus is not None:
+            line = (
+                f"{ACCURACY_METRIC}: {rate:.4f} vs absolute floor "
+                f"{min_correct_locus:.4f}"
+            )
+            if rate < min_correct_locus:
+                result.fail(ACCURACY_METRIC, line)
+            else:
+                result.note(line)
+    elif min_correct_locus is not None:
+        result.fail(
+            ACCURACY_METRIC,
+            f"{ACCURACY_METRIC}: missing from the record but an "
+            "absolute floor was requested",
+        )
+    return result

@@ -1,0 +1,137 @@
+"""The bench trend file: append-only, schema-versioned JSONL.
+
+Each ``repro bench`` run appends exactly one record to
+``bench/history.jsonl``.  A record carries everything the gate needs
+to decide comparability later — the git revision, the host, and a
+CRC fingerprint of the benchmark configuration (corpus sizes, seeds,
+quick mode, python version) — plus the measured metrics::
+
+    {"schema": 1, "git_rev": "abc1234", "timestamp": "...Z",
+     "host": "runner-3", "quick": true, "fingerprint": "9f2c0b1a",
+     "config": {...}, "metrics": {"kernel.numpy.ext_per_s": 52340.1,
+     "accuracy.correct_locus_rate": 1.0, ...}}
+
+Records whose fingerprints differ were measured under different
+configurations and are never compared; throughput is additionally
+only compared within one host (wall clocks do not travel between
+machines, accuracy does).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.durability.journal import payload_crc
+
+RECORD_SCHEMA = 1
+"""History record version; bumped only on incompatible changes."""
+
+DEFAULT_HISTORY = Path("bench") / "history.jsonl"
+"""Repo-relative default trend file of ``repro bench``."""
+
+
+def config_fingerprint(config: dict) -> str:
+    """Stable hex fingerprint of a benchmark configuration.
+
+    Reuses the durability journal's canonical-JSON CRC so the same
+    config always fingerprints identically across runs and hosts.
+    """
+    return f"{payload_crc(config):08x}"
+
+
+def git_rev() -> str:
+    """The short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def new_record(
+    metrics: dict,
+    config: dict,
+    quick: bool,
+    host: str | None = None,
+    rev: str | None = None,
+    timestamp: float | None = None,
+) -> dict:
+    """Assemble one history record from a finished suite run.
+
+    ``config`` must contain only JSON-able values that determine what
+    was measured (corpus sizes, seeds, module list, python version) —
+    it is what the fingerprint hashes, so anything host-specific in it
+    would silently split the baseline.
+    """
+    when = time.time() if timestamp is None else timestamp
+    return {
+        "schema": RECORD_SCHEMA,
+        "git_rev": git_rev() if rev is None else rev,
+        "timestamp": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(when)
+        ),
+        "host": platform.node() if host is None else host,
+        "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
+        "quick": quick,
+        "fingerprint": config_fingerprint(config),
+        "config": config,
+        "metrics": dict(metrics),
+    }
+
+
+def append_record(path: str | Path, record: dict) -> None:
+    """Append one record to the JSONL trend file (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_records(path: str | Path) -> list[dict]:
+    """Load the trend file; missing file is an empty history.
+
+    Unreadable lines and records from a different schema are skipped
+    with a warning on stderr rather than poisoning the gate — an old
+    history must never block a new run.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: list[dict] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                print(
+                    f"warning: {path}:{lineno}: unreadable history "
+                    "line skipped",
+                    file=sys.stderr,
+                )
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("schema") != RECORD_SCHEMA
+            ):
+                print(
+                    f"warning: {path}:{lineno}: schema "
+                    f"{record.get('schema')!r} record skipped "
+                    f"(this reader understands {RECORD_SCHEMA})",
+                    file=sys.stderr,
+                )
+                continue
+            records.append(record)
+    return records

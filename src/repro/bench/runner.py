@@ -1,0 +1,189 @@
+"""Discover and run the tier-1 benchmark suite plus the accuracy run.
+
+A ``benchmarks/bench_*.py`` module opts into the suite by exporting::
+
+    def tier1_bench(quick: bool = False) -> dict[str, float]:
+        ...
+
+returning metric name → value (throughput metrics end in ``_per_s``
+so the gate picks them up; anything else is trend-only).  The hooks
+deliberately bypass pytest-benchmark: they are plain best-of-N wall
+clocks sized for CI, while the pytest harnesses remain the deep
+instruments.
+
+The accuracy run is not a hook — it lives here because it is the one
+leg every configuration must share bit-for-bit: a fixed-seed,
+repeat-free Platinum-like corpus aligned by the batched engine and
+graded by the scorecard.  Repeat-free because a 300 bp repeat copied
+over a 101 bp read's origin would make "correct locus" ambiguous;
+the corpus measures the aligner, not the reference's self-similarity.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+from typing import Callable
+
+TIER1_HOOK = "tier1_bench"
+"""Attribute a benchmark module exports to join ``repro bench``."""
+
+ACCURACY_SEED = 20200613
+"""Fixed corpus seed shared with the benchmark conftest."""
+
+ACCURACY_TOLERANCE = 20
+"""Correct-locus window of the accuracy run (bases)."""
+
+
+def default_benchmarks_dir() -> Path:
+    """The repo's ``benchmarks/`` directory for a src checkout."""
+    return Path(__file__).resolve().parents[3] / "benchmarks"
+
+
+def discover_benchmarks(
+    bench_dir: str | Path | None = None,
+) -> list[tuple[str, Callable[[bool], dict]]]:
+    """Find every ``bench_*.py`` exporting a :data:`TIER1_HOOK`.
+
+    Modules are imported by file path (the benchmarks directory is
+    not a package) in sorted order; modules without the hook are the
+    deep pytest-only harnesses and are skipped silently.
+    """
+    directory = Path(
+        default_benchmarks_dir() if bench_dir is None else bench_dir
+    )
+    if not directory.is_dir():
+        return []
+    hooks = []
+    for path in sorted(directory.glob("bench_*.py")):
+        name = f"repro_bench_{path.stem}"
+        spec = importlib.util.spec_from_file_location(name, path)
+        if spec is None or spec.loader is None:
+            continue
+        module = importlib.util.module_from_spec(spec)
+        # Registered so decorators/dataclasses inside the module can
+        # resolve their own module during exec.
+        sys.modules[name] = module
+        spec.loader.exec_module(module)
+        hook = getattr(module, TIER1_HOOK, None)
+        if callable(hook):
+            hooks.append((path.stem, hook))
+    return hooks
+
+
+def run_tier1(
+    quick: bool = False,
+    bench_dir: str | Path | None = None,
+    log: Callable[[str], None] | None = None,
+) -> tuple[dict, list[str]]:
+    """Run every discovered hook; returns (metrics, module names).
+
+    A metric name produced by two modules is a suite bug — the trend
+    file would silently interleave different measurements — so
+    collisions raise.
+    """
+    metrics: dict[str, float] = {}
+    modules: list[str] = []
+    for name, hook in discover_benchmarks(bench_dir):
+        if log is not None:
+            log(f"bench: running {name} (quick={quick})")
+        produced = hook(quick)
+        for key, value in produced.items():
+            if key in metrics:
+                raise ValueError(
+                    f"benchmark metric {key!r} produced by two modules"
+                )
+            metrics[key] = float(value)
+        modules.append(name)
+    return metrics, modules
+
+
+def accuracy_config(quick: bool = False) -> dict:
+    """The accuracy corpus parameters (part of the fingerprint)."""
+    return {
+        "seed": ACCURACY_SEED,
+        "reference_length": 20_000 if quick else 60_000,
+        "reads": 120 if quick else 400,
+        "profile": "platinum",
+        "repeat_fraction": 0.0,
+        "engine": "batched",
+        "seeding": "kmer",
+        "tolerance": ACCURACY_TOLERANCE,
+    }
+
+
+def accuracy_run(
+    quick: bool = False, scorecard_out: str | Path | None = None
+) -> dict[str, float]:
+    """Align the fixed-seed corpus and grade it against its truth.
+
+    Deterministic end to end (derandomized corpus, deterministic
+    engine), so any change in the returned rates is a behaviour
+    change in the aligner — which is exactly what the gate's
+    no-drop rule assumes.
+    """
+    import numpy as np
+
+    from repro.aligner.engines import BatchedEngine
+    from repro.aligner.pipeline import Aligner
+    from repro.genome.synth import (
+        PLATINUM_LIKE,
+        ReadSimulator,
+        synthesize_reference,
+    )
+    from repro.scorecard import TruthRecord, score_records
+
+    cfg = accuracy_config(quick)
+    rng = np.random.default_rng(cfg["seed"])
+    reference = synthesize_reference(
+        cfg["reference_length"], rng, repeat_fraction=0.0
+    )
+    sim = ReadSimulator(reference, PLATINUM_LIKE, seed=cfg["seed"])
+    reads = sim.simulate(cfg["reads"])
+    truth = {r.name: TruthRecord.from_read(r) for r in reads}
+    aligner = Aligner(reference, BatchedEngine(), seeding=cfg["seeding"])
+    records = aligner.align_batched(
+        [(r.name, r.codes) for r in reads]
+    )
+    card = score_records(records, truth, tolerance=cfg["tolerance"])
+    if scorecard_out is not None:
+        card.write_json(scorecard_out)
+    return {
+        "accuracy.correct_locus_rate": card.correct_locus_rate,
+        "accuracy.unmapped_fraction": card.unmapped_fraction,
+        "accuracy.wrong_total": float(
+            card.outcomes["wrong_locus"] + card.outcomes["wrong_strand"]
+        ),
+        "accuracy.reads_scored": float(card.total),
+    }
+
+
+def run_suite(
+    quick: bool = False,
+    bench_dir: str | Path | None = None,
+    log: Callable[[str], None] | None = None,
+    scorecard_out: str | Path | None = None,
+) -> dict:
+    """Run tier-1 benchmarks + the accuracy leg; returns the record.
+
+    The returned record (see :mod:`repro.bench.history`) is not yet
+    appended anywhere — the CLI owns the trend file and the gate.
+    ``scorecard_out`` additionally writes the accuracy leg's full
+    scorecard JSON (the CI artifact).
+    """
+    from repro.bench.history import new_record
+
+    metrics, modules = run_tier1(quick, bench_dir=bench_dir, log=log)
+    if log is not None:
+        log("bench: running accuracy corpus")
+    metrics.update(accuracy_run(quick, scorecard_out=scorecard_out))
+    # Deliberately excludes anything host- or interpreter-specific:
+    # the fingerprint keys which records measured the same workload,
+    # and the accuracy gate must reach across machines.
+    config = {
+        "quick": quick,
+        "modules": modules,
+        "accuracy": accuracy_config(quick),
+    }
+    return new_record(metrics, config, quick)

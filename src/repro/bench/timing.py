@@ -1,0 +1,28 @@
+"""Minimal wall-clock timing for tier-1 benchmark hooks.
+
+The pytest-benchmark harness stays the tool for deep, statistically
+careful runs; the tier-1 hooks behind ``repro bench`` only need a
+best-of-N wall clock that is cheap enough for CI and stable enough
+for a 10%-tolerance gate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+def best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Run ``fn`` ``repeats`` times; return the best elapsed seconds.
+
+    Best-of (not mean) because scheduling noise only ever adds time:
+    the minimum is the closest observable to the code's true cost.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

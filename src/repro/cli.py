@@ -164,6 +164,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write an interleaved paired-end FASTQ (FR, insert ~400)",
     )
+    sim.add_argument(
+        "--no-truth",
+        action="store_true",
+        help="skip the <reads>.truth.tsv sidecar (written by default; "
+        "see docs/observability.md)",
+    )
 
     aln = sub.add_parser(
         "align",
@@ -245,6 +251,117 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="multiprocessing start method for worker processes "
         "(default: fork where available, else spawn)",
+    )
+    aln.add_argument(
+        "--truth",
+        metavar="FILE",
+        help="score the finished SAM against this .truth.tsv sidecar "
+        "(scoring is read-only: the SAM is byte-identical either way)",
+    )
+    aln.add_argument(
+        "--scorecard-out",
+        metavar="FILE",
+        help="write the scorecard as JSON; implies --truth, defaulting "
+        "to the <reads>.truth.tsv sidecar when --truth is omitted",
+    )
+    aln.add_argument(
+        "--truth-tolerance",
+        type=int,
+        default=20,
+        metavar="BASES",
+        help="correct-locus window around the true position, widened "
+        "per read by its true indel span (default 20)",
+    )
+    aln.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit one JSON progress line per scheduling window to "
+        "stderr (reads done, reads/s, ETA); single-process runs only",
+    )
+
+    sc = sub.add_parser(
+        "score",
+        help="grade an existing SAM against a truth sidecar",
+        parents=[obs_opts],
+    )
+    sc.add_argument("--sam", required=True, metavar="FILE")
+    sc.add_argument(
+        "--truth", required=True, metavar="FILE",
+        help=".truth.tsv sidecar written by `repro simulate`",
+    )
+    sc.add_argument(
+        "--tolerance",
+        type=int,
+        default=20,
+        metavar="BASES",
+        help="correct-locus window (default 20)",
+    )
+    sc.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the scorecard as JSON (schema-versioned)",
+    )
+
+    bn = sub.add_parser(
+        "bench",
+        help="run the tier-1 benchmark suite + accuracy run; append "
+        "one record to the trend file (see docs/observability.md)",
+        parents=[obs_opts],
+    )
+    bn.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized corpora (same schema, smaller numbers)",
+    )
+    bn.add_argument(
+        "--history",
+        default="bench/history.jsonl",
+        metavar="FILE",
+        help="append-only JSONL trend file (default bench/history.jsonl)",
+    )
+    bn.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="extra baseline records (JSONL) consulted by --check; "
+        "default bench/baseline.jsonl when it exists",
+    )
+    bn.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the new record against the rolling baseline: exit "
+        "4 on a throughput drop beyond --max-throughput-drop or on "
+        "any correct-locus-rate drop",
+    )
+    bn.add_argument(
+        "--max-throughput-drop",
+        type=float,
+        default=0.10,
+        metavar="FRACTION",
+        help="tolerated fractional drop for *_per_s metrics "
+        "(default 0.10)",
+    )
+    bn.add_argument(
+        "--min-correct-locus",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="absolute correct-locus-rate floor for --check",
+    )
+    bn.add_argument(
+        "--benchmarks-dir",
+        metavar="DIR",
+        help="where to discover bench_*.py (default: the repo's "
+        "benchmarks/ directory)",
+    )
+    bn.add_argument(
+        "--scorecard-out",
+        metavar="FILE",
+        help="also write the accuracy run's full scorecard JSON",
+    )
+    bn.add_argument(
+        "--no-append",
+        action="store_true",
+        help="measure and gate without touching the trend file",
     )
 
     ana = sub.add_parser(
@@ -386,15 +503,188 @@ def _print_chaos_summary(dispatcher) -> None:
         )
 
 
+class _JsonProgress:
+    """Per-window JSON progress lines on stderr (``--log-json``).
+
+    When obs is enabled, the reads-done figure is read back from the
+    live registry snapshot (the same ``aligner.reads.total`` counter a
+    ``--metrics-out`` export reports), so the progress stream and the
+    final metrics cannot disagree; otherwise the scheduler's own tally
+    is used.
+    """
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def __call__(self, window: int, done: int, total: int) -> None:
+        from repro.obs import names as mn
+
+        if obs.enabled():
+            snap = obs.get_registry().snapshot()
+            done = int(snap["counters"].get(mn.ALIGNER_READS_TOTAL, done))
+        elapsed = time.perf_counter() - self._start
+        rate = done / elapsed if elapsed > 0 else 0.0
+        eta = (total - done) / rate if rate > 0 else None
+        print(
+            json.dumps(
+                {
+                    "event": "wave",
+                    "wave": window,
+                    "reads_done": done,
+                    "reads_total": total,
+                    "reads_per_s": round(rate, 1),
+                    "eta_s": None if eta is None else round(eta, 1),
+                    "elapsed_s": round(elapsed, 3),
+                }
+            ),
+            file=sys.stderr,
+            flush=True,
+        )
+
+
+def _score_after_align(args: argparse.Namespace) -> None:
+    """Grade the finished SAM when ``--truth``/``--scorecard-out`` ask.
+
+    Runs strictly after the SAM is on disk and only reads it, so
+    output bytes are identical with scoring on or off.
+    """
+    truth = getattr(args, "truth", None)
+    card_out = getattr(args, "scorecard_out", None)
+    if not truth and not card_out:
+        return
+    from repro.scorecard import TruthError, score_sam, truth_path_for
+
+    truth = truth or truth_path_for(args.reads)
+    try:
+        card = score_sam(args.out, truth, tolerance=args.truth_tolerance)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot score run: {exc}") from exc
+    except TruthError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if obs.enabled():
+        card.publish(obs.get_registry())
+    print(card.summary())
+    if card_out:
+        card.write_json(card_out)
+        print(f"wrote scorecard to {card_out}")
+
+
+def cmd_score(args: argparse.Namespace) -> int:
+    """Grade an existing SAM run against its truth sidecar."""
+    from repro.scorecard import TruthError, score_sam
+
+    try:
+        card = score_sam(args.sam, args.truth, tolerance=args.tolerance)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TruthError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if obs.enabled():
+        card.publish(obs.get_registry())
+    print(card.summary())
+    if card.missing_truth or card.truth_unseen:
+        print(
+            f"warning: {card.missing_truth} record(s) without truth, "
+            f"{card.truth_unseen} truth row(s) never aligned",
+            file=sys.stderr,
+        )
+    if args.out:
+        card.write_json(args.out)
+        print(f"wrote scorecard to {args.out}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the tier-1 bench suite; trend-record and optionally gate.
+
+    Exit codes: 0 clean, 2 on setup errors, 4 when ``--check`` finds
+    a regression (the record is still appended first — a failing run
+    is exactly the history worth keeping).
+    """
+    from pathlib import Path
+
+    from repro.bench import (
+        append_record,
+        check_record,
+        load_records,
+        run_suite,
+    )
+
+    try:
+        record = run_suite(
+            args.quick,
+            bench_dir=args.benchmarks_dir,
+            log=lambda msg: print(msg, file=sys.stderr),
+            scorecard_out=args.scorecard_out,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: bench suite failed: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"bench: {record['git_rev']} on {record['host']} "
+        f"(fingerprint {record['fingerprint']}, quick={record['quick']})"
+    )
+    for name in sorted(record["metrics"]):
+        print(f"  {name} = {record['metrics'][name]:,.4f}")
+    if args.scorecard_out:
+        print(f"wrote scorecard to {args.scorecard_out}")
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default = Path("bench") / "baseline.jsonl"
+        baseline_path = str(default) if default.exists() else None
+    baseline = []
+    if baseline_path:
+        baseline.extend(load_records(baseline_path))
+    baseline.extend(load_records(args.history))
+
+    if not args.no_append:
+        append_record(args.history, record)
+        print(f"appended record to {args.history}")
+
+    if not args.check:
+        return 0
+    result = check_record(
+        record,
+        baseline,
+        max_drop=args.max_throughput_drop,
+        min_correct_locus=args.min_correct_locus,
+    )
+    for line in result.lines:
+        print(line)
+    if not result.ok:
+        print(
+            "bench gate: FAIL ("
+            + ", ".join(sorted(set(result.failures)))
+            + ")"
+        )
+        return 4
+    print("bench gate: pass")
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
-    """Generate a synthetic reference + FASTQ workload."""
+    """Generate a synthetic reference + FASTQ workload.
+
+    Unless ``--no-truth`` is given, the ground truth of every read
+    (origin, strand, edit counts) is written to the canonical
+    ``<reads>.truth.tsv`` sidecar so the run can later be scored with
+    ``repro score`` or ``repro align --truth``.
+    """
+    from repro.scorecard.truth import TruthRecord
+
     rng = np.random.default_rng(args.seed)
     reference = synthesize_reference(args.length, rng)
     records: list[FastqRecord] = []
+    truth_rows: list[TruthRecord] = []
     if args.paired:
         from repro.aligner.paired import simulate_pairs
 
-        for pair, _, _ in simulate_pairs(
+        for pair, pos1, pos2 in simulate_pairs(
             reference, args.reads, rng, profile=PROFILES[args.profile]
         ):
             for suffix, codes in (("/1", pair.first), ("/2", pair.second)):
@@ -405,22 +695,40 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                         "I" * len(codes),
                     )
                 )
+            # Mate 1 maps forward at the fragment's left end, mate 2
+            # reverse at its right end; per-mate edit counts are not
+            # tracked by the pair simulator, hence unknown.
+            truth_rows.append(
+                TruthRecord(pair.name + "/1", pos1, reverse=False)
+            )
+            truth_rows.append(
+                TruthRecord(pair.name + "/2", pos2, reverse=True)
+            )
     else:
         sim = ReadSimulator(
             reference, PROFILES[args.profile], seed=args.seed
         )
-        records = [
-            FastqRecord(r.name, r.sequence, "I" * len(r.codes))
-            for r in sim.simulate(args.reads)
-        ]
+        for r in sim.simulate(args.reads):
+            records.append(
+                FastqRecord(r.name, r.sequence, "I" * len(r.codes))
+            )
+            truth_rows.append(TruthRecord.from_read(r))
     with open(args.out_reference, "w") as handle:
         write_fasta(handle, [FastaRecord("chr1", decode(reference))])
     with open(args.out_reads, "w") as handle:
         write_fastq(handle, records)
-    print(
+    message = (
         f"wrote {args.length} bp reference to {args.out_reference} and "
         f"{len(records)} reads to {args.out_reads}"
     )
+    if not args.no_truth:
+        from repro.scorecard.truth import truth_path_for, write_truth
+
+        truth_path = truth_path_for(args.out_reads)
+        with open(truth_path, "w") as handle:
+            write_truth(handle, truth_rows)
+        message += f" (truth sidecar: {truth_path})"
+    print(message)
     return 0
 
 
@@ -484,13 +792,19 @@ def cmd_align(args: argparse.Namespace) -> int:
             raise SystemExit(
                 "error: --run-dir supports single-end reads only"
             )
-        return _align_durable_cmd(args, name, reference, reads)
+        code = _align_durable_cmd(args, name, reference, reads)
+        if code == 0:
+            _score_after_align(args)
+        return code
     if args.workers > 1:
         if args.paired:
             raise SystemExit(
                 "error: --workers > 1 supports single-end reads only"
             )
-        return _align_sharded_cmd(args, name, reference, reads)
+        code = _align_sharded_cmd(args, name, reference, reads)
+        if code == 0:
+            _score_after_align(args)
+        return code
     base_engine = _make_engine(args)
     engine, dispatcher = _wrap_chaos(base_engine, args)
     start = time.perf_counter()
@@ -526,6 +840,7 @@ def cmd_align(args: argparse.Namespace) -> int:
         )
         if dispatcher is not None:
             _print_chaos_summary(dispatcher)
+        _score_after_align(args)
         return 0
     aligner = Aligner(
         reference,
@@ -534,14 +849,19 @@ def cmd_align(args: argparse.Namespace) -> int:
         reference_name=name,
     )
     encoded = [(r.name, encode(r.sequence)) for r in reads]
+    progress = _JsonProgress() if args.log_json else None
     if args.engine == "batched":
         records = aligner.align_batched(
-            encoded, batch_size=args.batch_size
+            encoded, batch_size=args.batch_size, progress=progress
         )
     else:
-        records = [
-            aligner.align_read(codes, rname) for rname, codes in encoded
-        ]
+        records = []
+        for i, (rname, codes) in enumerate(encoded):
+            records.append(aligner.align_read(codes, rname))
+            if progress is not None and (
+                (i + 1) % args.batch_size == 0 or i + 1 == len(encoded)
+            ):
+                progress(i // args.batch_size, i + 1, len(encoded))
     elapsed = time.perf_counter() - start
     with open(args.out, "w") as handle:
         write_sam(
@@ -562,6 +882,7 @@ def cmd_align(args: argparse.Namespace) -> int:
         )
     if dispatcher is not None:
         _print_chaos_summary(dispatcher)
+    _score_after_align(args)
     return 0
 
 
@@ -829,7 +1150,11 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     metrics_out = getattr(args, "metrics_out", None)
     trace_out = getattr(args, "trace_out", None)
-    exporting = bool(metrics_out or trace_out)
+    # --log-json reads progress counts back from the registry, so it
+    # turns observability on even without an export file.
+    exporting = bool(
+        metrics_out or trace_out or getattr(args, "log_json", False)
+    )
     if exporting:
         obs.reset()
         obs.enable()
@@ -837,6 +1162,8 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": cmd_simulate,
         "align": cmd_align,
         "analyze": cmd_analyze,
+        "score": cmd_score,
+        "bench": cmd_bench,
         "stats": cmd_stats,
     }
     try:

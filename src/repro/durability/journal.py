@@ -98,6 +98,17 @@ def _payload_crc(payload: dict) -> int:
     return zlib.crc32(blob) & 0xFFFFFFFF
 
 
+def payload_crc(payload: dict) -> int:
+    """CRC-32 over the canonical (sorted-keys) JSON of ``payload``.
+
+    The journal's own integrity checksum, exposed for other
+    subsystems that need a stable fingerprint of a small JSON-able
+    config — the bench history uses it to tag records with their
+    configuration so the regression gate only compares like with like.
+    """
+    return _payload_crc(payload)
+
+
 class RunJournal:
     """Checkpoint journal of one alignment run's completed windows."""
 

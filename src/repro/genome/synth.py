@@ -106,6 +106,27 @@ def synthesize_reference(
     return ref
 
 
+def write_truth_sidecar(reads, reads_path) -> "Path":
+    """Write the ``.truth.tsv`` sidecar for a simulated FASTQ.
+
+    ``reads`` is any iterable of :class:`SimulatedRead` (or objects
+    with the same truth attributes); the sidecar lands next to
+    ``reads_path`` at the canonical ``<reads>.truth.tsv`` location and
+    the path is returned.  Imports lazily so the simulator stays free
+    of a scorecard dependency unless truth output is requested.
+    """
+    from repro.scorecard.truth import (
+        TruthRecord,
+        truth_path_for,
+        write_truth,
+    )
+
+    path = truth_path_for(reads_path)
+    with open(path, "w") as handle:
+        write_truth(handle, (TruthRecord.from_read(r) for r in reads))
+    return path
+
+
 class ReadSimulator:
     """Samples reads from a reference with a mutation/error model."""
 

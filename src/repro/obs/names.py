@@ -181,6 +181,18 @@ DURABILITY_WINDOWS_SKIPPED = "durability.windows.skipped"
 DURABILITY_JOURNAL_BYTES = "durability.journal.bytes"
 """Segment bytes committed to the checkpoint journal."""
 
+SCORE_READS_TOTAL = "score.reads.total"
+"""Reads graded against a truth sidecar."""
+
+SCORE_READS_OUTCOME = "score.reads.outcome"
+"""Scored reads by outcome class (labels: ``outcome``)."""
+
+SCORE_MAPQ_READS = "score.mapq.reads"
+"""Mapped scored reads per MAPQ bin (labels: ``bin``, ``outcome``)."""
+
+SCORE_BAND_READS = "score.band.reads"
+"""Scored reads per true-band bucket (labels: ``bucket``, ``outcome``)."""
+
 # -- histograms ---------------------------------------------------------
 
 CELLS_PER_EXTENSION = "seedex.cells.per_extension"
@@ -223,6 +235,12 @@ PIPELINE_SHARD_WORKERS = "pipeline.shard.workers"
 
 KERNEL_ACTIVE = "kernel.active"
 """Set to 1 for the DP kernel backend a run selected (labels: ``kernel``)."""
+
+SCORE_CORRECT_LOCUS_RATE = "score.correct_locus.rate"
+"""Correct-locus rate of the most recent scored run."""
+
+SCORE_TOLERANCE = "score.tolerance.bases"
+"""Position tolerance window the scorecard used (bases)."""
 
 
 def all_names() -> dict[str, str]:

@@ -1,0 +1,150 @@
+"""The regression gate's contract: the acceptance-criteria tests.
+
+The two rules the ISSUE pins — a deliberately injected >=10% kernel
+throughput regression must flip the gate to failing, and *any*
+correct-locus-rate drop must — are exercised here on synthetic
+records, plus the comparability rules (fingerprint and host matching)
+that keep the gate honest across machines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import check_record, new_record
+
+
+def _record(metrics, host="ci", config=None, rev="abc1234", ts=1.7e9):
+    return new_record(
+        metrics,
+        config or {"quick": True},
+        quick=True,
+        host=host,
+        rev=rev,
+        timestamp=ts,
+    )
+
+
+BASE_METRICS = {
+    "kernel.numpy.ext_per_s": 2000.0,
+    "pipeline.batched.reads_per_s": 700.0,
+    "accuracy.correct_locus_rate": 1.0,
+    "resilience.overhead.fraction": 0.01,
+}
+
+
+class TestThroughputGate:
+    def test_clean_run_passes(self):
+        result = check_record(
+            _record(BASE_METRICS), [_record(BASE_METRICS)]
+        )
+        assert result.ok
+        assert result.failures == []
+
+    def test_injected_ten_percent_kernel_regression_fails(self):
+        regressed = dict(BASE_METRICS)
+        regressed["kernel.numpy.ext_per_s"] = 2000.0 * 0.89
+        result = check_record(
+            _record(regressed), [_record(BASE_METRICS)]
+        )
+        assert not result.ok
+        assert "kernel.numpy.ext_per_s" in result.failures
+
+    def test_drop_within_tolerance_passes(self):
+        wobbly = dict(BASE_METRICS)
+        wobbly["kernel.numpy.ext_per_s"] = 2000.0 * 0.95
+        assert check_record(
+            _record(wobbly), [_record(BASE_METRICS)]
+        ).ok
+
+    def test_baseline_is_median_of_recent_runs(self):
+        history = [
+            _record({**BASE_METRICS, "kernel.numpy.ext_per_s": v})
+            for v in (1000.0, 2000.0, 3000.0)
+        ]
+        # Median 2000 -> floor 1800; 1850 passes even though the best
+        # baseline run hit 3000.
+        probe = dict(BASE_METRICS)
+        probe["kernel.numpy.ext_per_s"] = 1850.0
+        assert check_record(_record(probe), history).ok
+
+    def test_other_hosts_never_gate_throughput(self):
+        fast_elsewhere = [
+            _record(
+                {**BASE_METRICS, "kernel.numpy.ext_per_s": 99999.0},
+                host="big-iron",
+            )
+        ]
+        result = check_record(
+            _record(BASE_METRICS), fast_elsewhere
+        )
+        assert result.ok
+        assert any("not gated" in line for line in result.lines)
+
+    def test_other_fingerprints_never_gate(self):
+        other_config = [
+            _record(BASE_METRICS, config={"quick": False})
+        ]
+        regressed = dict(BASE_METRICS)
+        regressed["kernel.numpy.ext_per_s"] = 1.0
+        assert check_record(_record(regressed), other_config).ok
+
+    def test_overhead_fractions_are_trend_only(self):
+        worse = dict(BASE_METRICS)
+        worse["resilience.overhead.fraction"] = 0.99
+        assert check_record(
+            _record(worse), [_record(BASE_METRICS)]
+        ).ok
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            check_record(_record(BASE_METRICS), [], max_drop=1.5)
+
+
+class TestAccuracyGate:
+    def test_any_accuracy_drop_fails(self):
+        dropped = dict(BASE_METRICS)
+        dropped["accuracy.correct_locus_rate"] = 0.9999
+        result = check_record(
+            _record(dropped), [_record(BASE_METRICS)]
+        )
+        assert not result.ok
+        assert "accuracy.correct_locus_rate" in result.failures
+
+    def test_accuracy_gates_across_hosts(self):
+        dropped = dict(BASE_METRICS)
+        dropped["accuracy.correct_locus_rate"] = 0.95
+        result = check_record(
+            _record(dropped),
+            [_record(BASE_METRICS, host="another-machine")],
+        )
+        assert not result.ok
+
+    def test_accuracy_improvement_passes(self):
+        history = [
+            _record(
+                {**BASE_METRICS, "accuracy.correct_locus_rate": 0.98}
+            )
+        ]
+        assert check_record(_record(BASE_METRICS), history).ok
+
+    def test_absolute_floor(self):
+        low = dict(BASE_METRICS)
+        low["accuracy.correct_locus_rate"] = 0.97
+        assert not check_record(
+            _record(low), [], min_correct_locus=0.99
+        ).ok
+        assert check_record(
+            _record(BASE_METRICS), [], min_correct_locus=0.99
+        ).ok
+
+    def test_missing_accuracy_with_floor_fails(self):
+        no_accuracy = {"kernel.numpy.ext_per_s": 2000.0}
+        assert not check_record(
+            _record(no_accuracy), [], min_correct_locus=0.99
+        ).ok
+
+    def test_empty_baseline_skips_with_note(self):
+        result = check_record(_record(BASE_METRICS), [])
+        assert result.ok
+        assert all("not gated" in line for line in result.lines)

@@ -1,0 +1,74 @@
+"""Bench trend file: record assembly, fingerprints, tolerant loads."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import (
+    RECORD_SCHEMA,
+    append_record,
+    config_fingerprint,
+    load_records,
+    new_record,
+)
+
+
+def _record(metrics=None, config=None, **kwargs):
+    return new_record(
+        metrics or {"kernel.numpy.ext_per_s": 100.0},
+        config or {"quick": True},
+        quick=True,
+        host=kwargs.pop("host", "testhost"),
+        rev=kwargs.pop("rev", "abc1234"),
+        timestamp=kwargs.pop("timestamp", 1_780_000_000.0),
+    )
+
+
+class TestRecord:
+    def test_shape(self):
+        record = _record()
+        assert record["schema"] == RECORD_SCHEMA
+        assert record["git_rev"] == "abc1234"
+        assert record["host"] == "testhost"
+        assert record["timestamp"].endswith("Z")
+        assert record["fingerprint"] == config_fingerprint(
+            {"quick": True}
+        )
+
+    def test_fingerprint_is_order_independent(self):
+        assert config_fingerprint(
+            {"a": 1, "b": [2, 3]}
+        ) == config_fingerprint({"b": [2, 3], "a": 1})
+
+    def test_fingerprint_changes_with_config(self):
+        assert config_fingerprint({"reads": 120}) != config_fingerprint(
+            {"reads": 400}
+        )
+
+
+class TestFile:
+    def test_append_then_load_round_trips(self, tmp_path):
+        path = tmp_path / "bench" / "history.jsonl"
+        first, second = _record(), _record(rev="def5678")
+        append_record(path, first)
+        append_record(path, second)
+        loaded = load_records(path)
+        assert [r["git_rev"] for r in loaded] == ["abc1234", "def5678"]
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_records(tmp_path / "nope.jsonl") == []
+
+    def test_garbage_lines_skipped_with_warning(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        path.write_text(
+            "not json at all\n"
+            + json.dumps({"schema": 999, "metrics": {}})
+            + "\n"
+            + json.dumps(_record())
+            + "\n"
+        )
+        loaded = load_records(path)
+        assert len(loaded) == 1
+        err = capsys.readouterr().err
+        assert "unreadable" in err
+        assert "schema" in err

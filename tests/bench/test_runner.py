@@ -1,0 +1,100 @@
+"""Suite discovery and assembly over a stub benchmarks directory."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.bench import discover_benchmarks
+from repro.bench.runner import default_benchmarks_dir, run_tier1
+
+
+def _write_module(directory, stem, body):
+    (directory / f"{stem}.py").write_text(textwrap.dedent(body))
+
+
+@pytest.fixture()
+def stub_dir(tmp_path):
+    _write_module(
+        tmp_path,
+        "bench_alpha",
+        """
+        def tier1_bench(quick=False):
+            return {"alpha.ops_per_s": 10.0 if quick else 100.0}
+        """,
+    )
+    _write_module(
+        tmp_path,
+        "bench_beta",
+        """
+        def tier1_bench(quick=False):
+            return {"beta.ops_per_s": 5.0}
+        """,
+    )
+    # A deep pytest-only harness: no hook, must be skipped silently.
+    _write_module(
+        tmp_path,
+        "bench_deep_harness",
+        """
+        def test_something(benchmark):
+            pass
+        """,
+    )
+    return tmp_path
+
+
+class TestDiscovery:
+    def test_finds_hooks_in_sorted_order(self, stub_dir):
+        found = discover_benchmarks(stub_dir)
+        assert [name for name, _ in found] == [
+            "bench_alpha",
+            "bench_beta",
+        ]
+        assert all(callable(hook) for _, hook in found)
+
+    def test_hookless_modules_skipped(self, stub_dir):
+        names = [name for name, _ in discover_benchmarks(stub_dir)]
+        assert "bench_deep_harness" not in names
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert discover_benchmarks(tmp_path / "nowhere") == []
+
+    def test_repo_benchmarks_all_export_hooks(self):
+        """The four real tier-1 benchmark modules stay wired in."""
+        names = {
+            name for name, _ in discover_benchmarks(default_benchmarks_dir())
+        }
+        assert {
+            "bench_kernel_throughput",
+            "bench_pipeline_throughput",
+            "bench_durability_overhead",
+            "bench_resilience_overhead",
+        } <= names
+
+
+class TestRunTier1:
+    def test_collects_metrics_and_modules(self, stub_dir):
+        lines = []
+        metrics, modules = run_tier1(
+            quick=True, bench_dir=stub_dir, log=lines.append
+        )
+        assert metrics == {"alpha.ops_per_s": 10.0, "beta.ops_per_s": 5.0}
+        assert modules == ["bench_alpha", "bench_beta"]
+        assert any("bench_alpha" in line for line in lines)
+
+    def test_quick_flag_reaches_hooks(self, stub_dir):
+        metrics, _ = run_tier1(quick=False, bench_dir=stub_dir)
+        assert metrics["alpha.ops_per_s"] == 100.0
+
+    def test_metric_collision_raises(self, stub_dir):
+        _write_module(
+            stub_dir,
+            "bench_alpha_clone",
+            """
+            def tier1_bench(quick=False):
+                return {"alpha.ops_per_s": 1.0}
+            """,
+        )
+        with pytest.raises(ValueError, match="alpha.ops_per_s"):
+            run_tier1(bench_dir=stub_dir)

@@ -11,7 +11,11 @@ keys survive the render/parse round trip untouched.
 
 from __future__ import annotations
 
+import math
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs.metrics import MetricsRegistry, _parse_key, _render_key
 
@@ -106,3 +110,68 @@ class TestAbsorbSnapshot:
         parent.counter("c").inc()
         parent.absorb_snapshot({})
         assert parent.counter("c").snapshot() == 1
+
+
+class TestShardMergeEquivalence:
+    """Property: merging N shard snapshots equals one-process truth.
+
+    This is the contract ``aligner/parallel.py`` leans on when it
+    folds worker registries into the parent — if bucket counts, sums,
+    or extrema could drift under partitioning, every sharded run's
+    ``--metrics-out`` would silently disagree with the same run at
+    ``--workers 1``.
+    """
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        observations=st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1e9,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            max_size=60,
+        ),
+        cuts=st.lists(
+            st.integers(min_value=0, max_value=60), max_size=5
+        ),
+    )
+    def test_partitioned_histograms_merge_to_single_process(
+        self, observations, cuts
+    ):
+        single = MetricsRegistry()
+        for value in observations:
+            single.histogram(
+                "pipeline.batch.wave.jobs", side="left"
+            ).observe(value)
+
+        bounds = sorted(
+            {min(c, len(observations)) for c in cuts}
+            | {0, len(observations)}
+        )
+        parent = MetricsRegistry()
+        for start, stop in zip(bounds, bounds[1:]):
+            shard = MetricsRegistry()
+            hist = shard.histogram(
+                "pipeline.batch.wave.jobs", side="left"
+            )
+            for value in observations[start:stop]:
+                hist.observe(value)
+            parent.absorb_snapshot(shard.snapshot())
+
+        expected = single.histogram(
+            "pipeline.batch.wave.jobs", side="left"
+        ).snapshot()
+        merged = parent.histogram(
+            "pipeline.batch.wave.jobs", side="left"
+        ).snapshot()
+        assert merged["count"] == expected["count"]
+        assert merged["buckets"] == expected["buckets"]
+        assert merged["min"] == expected["min"]
+        assert merged["max"] == expected["max"]
+        # Addition order differs between the merged and single-process
+        # paths, so the float sums may differ by rounding only.
+        assert math.isclose(
+            merged["sum"], expected["sum"], rel_tol=1e-12, abs_tol=1e-9
+        )

@@ -323,3 +323,151 @@ class TestBadRecordPolicy:
         ]
         sidecar = (tmp_path / "run" / "bad_records.tsv").read_text()
         assert "separator" in sidecar
+
+
+class TestScorecardCli:
+    def _sam_bytes(self, path):
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def test_simulate_writes_truth_sidecar(self, workload):
+        from repro.scorecard import read_truth
+
+        _, _, reads = workload
+        truth = read_truth(reads + ".truth.tsv")
+        assert len(truth) == 25
+        assert all(row.true_pos >= 0 for row in truth.values())
+
+    def test_no_truth_suppresses_sidecar(self, tmp_path):
+        ref = str(tmp_path / "ref.fasta")
+        reads = str(tmp_path / "reads.fastq")
+        rc = main(
+            ["simulate", "--length", "5000", "--reads", "5",
+             "--seed", "1", "--no-truth",
+             "--out-reference", ref, "--out-reads", reads]
+        )
+        assert rc == 0
+        assert not (tmp_path / "reads.fastq.truth.tsv").exists()
+
+    def test_scoring_never_changes_the_sam(self, workload, tmp_path):
+        _, ref, reads = workload
+        plain = str(tmp_path / "plain.sam")
+        scored = str(tmp_path / "scored.sam")
+        main(["align", "--reference", ref, "--reads", reads,
+              "--out", plain])
+        card_out = tmp_path / "scorecard.json"
+        rc = main(["align", "--reference", ref, "--reads", reads,
+                   "--out", scored, "--scorecard-out", str(card_out)])
+        assert rc == 0
+        assert self._sam_bytes(scored) == self._sam_bytes(plain)
+        payload = json.loads(card_out.read_text())
+        assert payload["schema"] == 1
+        assert sum(payload["outcomes"].values()) == 25
+        assert payload["rates"]["correct_locus"] >= 0.9
+
+    def test_score_subcommand_grades_existing_sam(
+        self, workload, tmp_path, capsys
+    ):
+        _, ref, reads = workload
+        out = str(tmp_path / "run.sam")
+        main(["align", "--reference", ref, "--reads", reads,
+              "--out", out])
+        capsys.readouterr()
+        rc = main(["score", "--sam", out,
+                   "--truth", reads + ".truth.tsv"])
+        assert rc == 0
+        assert "correct-locus" in capsys.readouterr().out
+
+    def test_score_subcommand_bad_sidecar_exits_2(
+        self, workload, tmp_path, capsys
+    ):
+        _, ref, reads = workload
+        out = str(tmp_path / "run.sam")
+        main(["align", "--reference", ref, "--reads", reads,
+              "--out", out])
+        bad = tmp_path / "bad.tsv"
+        bad.write_text("this is not a sidecar\n")
+        assert main(["score", "--sam", out, "--truth", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_log_json_emits_wave_progress(
+        self, workload, tmp_path, capsys
+    ):
+        _, ref, reads = workload
+        rc = main(["align", "--reference", ref, "--reads", reads,
+                   "--out", str(tmp_path / "x.sam"),
+                   "--batch-size", "8", "--log-json"])
+        assert rc == 0
+        events = [
+            json.loads(line)
+            for line in capsys.readouterr().err.splitlines()
+            if line.startswith("{")
+        ]
+        waves = [e for e in events if e.get("event") == "wave"]
+        assert len(waves) >= 3  # 25 reads / batch 8
+        last = waves[-1]
+        assert last["reads_done"] == 25
+        assert last["reads_total"] == 25
+        assert last["reads_per_s"] >= 0
+        assert set(last) >= {"wave", "eta_s", "elapsed_s"}
+
+
+class TestBenchCli:
+    """`repro bench` end to end over a stub benchmarks directory.
+
+    The stub hook returns constants so the throughput legs are
+    deterministic; the accuracy leg still runs the real fixed-seed
+    quick corpus.
+    """
+
+    def _stub_dir(self, tmp_path):
+        bench_dir = tmp_path / "benchmarks"
+        bench_dir.mkdir()
+        (bench_dir / "bench_stub.py").write_text(
+            "def tier1_bench(quick=False):\n"
+            "    return {'stub.ops_per_s': 10.0}\n"
+        )
+        return str(bench_dir)
+
+    def test_first_run_appends_and_gate_skips(
+        self, tmp_path, capsys
+    ):
+        history = tmp_path / "history.jsonl"
+        rc = main(["bench", "--quick", "--check",
+                   "--benchmarks-dir", self._stub_dir(tmp_path),
+                   "--history", str(history),
+                   "--scorecard-out", str(tmp_path / "card.json")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bench gate: pass" in out
+        assert "not gated" in out  # empty history -> skip, never silent
+        from repro.bench import load_records
+
+        (record,) = load_records(history)
+        assert record["metrics"]["stub.ops_per_s"] == 10.0
+        assert record["metrics"]["accuracy.correct_locus_rate"] >= 0.99
+        assert (tmp_path / "card.json").exists()
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        """The acceptance demo at the CLI layer: a baseline 10x faster
+        than what the next run measures must flip the gate to exit 4,
+        while an honest baseline passes."""
+        history = tmp_path / "history.jsonl"
+        bench_dir = self._stub_dir(tmp_path)
+        argv = ["bench", "--quick", "--benchmarks-dir", bench_dir,
+                "--history", str(history)]
+        assert main(argv) == 0
+
+        # Honest re-run against its own record: gate passes.
+        assert main(argv + ["--check", "--no-append"]) == 0
+
+        # Forge the baseline: same fingerprint/host, 10x throughput.
+        record = json.loads(history.read_text())
+        record["metrics"]["stub.ops_per_s"] = 100.0
+        history.write_text(json.dumps(record) + "\n")
+        capsys.readouterr()
+        rc = main(argv + ["--check", "--no-append"])
+        assert rc == 4
+        out = capsys.readouterr().out
+        assert "bench gate: FAIL" in out
+        assert "stub.ops_per_s" in out
