@@ -9,7 +9,11 @@ from repro.aligner.engines import (
 )
 from repro.aligner.longread import LongReadAligner
 from repro.aligner.paired import InsertSizeModel, PairedAligner, ReadPair
-from repro.aligner.parallel import EngineSpec, align_sharded
+from repro.aligner.parallel import (
+    EngineSpec,
+    StartMethodError,
+    align_sharded,
+)
 from repro.aligner.pipeline import Aligner
 
 __all__ = [
@@ -24,5 +28,6 @@ __all__ = [
     "PlainBandedEngine",
     "ReadPair",
     "SeedExEngine",
+    "StartMethodError",
     "align_sharded",
 ]

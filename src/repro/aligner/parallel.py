@@ -72,6 +72,48 @@ _STATE = None
 """Worker-process aligner; pre-built by the parent on fork platforms."""
 
 
+class StartMethodError(TypeError):
+    """Spawn-start workers cannot rebuild the requested worker state.
+
+    Raised *before* any worker starts when ``start_method="spawn"``
+    (or a platform without ``fork``) is combined with state that only
+    works through fork inheritance — an unpicklable reference, engine
+    spec, or aligner option.  Under ``fork`` children inherit such
+    objects copy-on-write; under ``spawn`` they arrive pickled, and
+    without this check the failure surfaces as a bare pickle traceback
+    from deep inside the pool machinery.
+    """
+
+
+def _validate_spawn_payload(reference, spec, options) -> None:
+    """Fail fast when worker ``initargs`` cannot survive a spawn.
+
+    Every value shipped to a spawn worker is round-tripped through
+    pickle here, so an unpicklable engine spec or aligner option is a
+    typed :class:`StartMethodError` at the call site instead of a
+    ``PicklingError`` traceback out of a worker bootstrap.
+    """
+    import pickle
+
+    payload = (
+        ("reference", reference),
+        ("engine spec", spec),
+        ("aligner options", options),
+    )
+    for label, value in payload:
+        try:
+            pickle.dumps(value)
+        except Exception as exc:
+            raise StartMethodError(
+                f"start method 'spawn' ships the {label} to workers by "
+                f"pickling, but it is not picklable "
+                f"({type(exc).__name__}: {exc}); spawn workers cannot "
+                "inherit live objects the way fork children do — use "
+                "start_method='fork', or pass picklable values (e.g. an "
+                "EngineSpec recipe instead of an engine instance)"
+            ) from exc
+
+
 def _resolve_context(start_method: str | None):
     """The multiprocessing context to run workers under.
 
@@ -267,6 +309,8 @@ def align_sharded(
 
     ctx, method = _resolve_context(start_method)
     forked = method == "fork"
+    if not forked:
+        _validate_spawn_payload(reference, spec, aligner_options)
     if forked:
         # Build once in the parent; children inherit the reference and
         # seeding index copy-on-write instead of rebuilding per worker.
@@ -787,6 +831,8 @@ def align_supervised(
     )
 
     ctx, method = _resolve_context(start_method)
+    if method != "fork":
+        _validate_spawn_payload(reference, spec, aligner_options)
     supervisor = _Supervisor(
         ctx=ctx,
         forked=method == "fork",

@@ -307,17 +307,33 @@ def _finalize_window(aligner, reads: list[_ReadState]) -> list[SamRecord]:
     return records
 
 
-def align_window(aligner, window) -> list[SamRecord]:
-    """Align one window of ``(name, codes)`` reads via two waves."""
+def align_window(aligner, window, on_record=None) -> list[SamRecord]:
+    """Align one window of ``(name, codes)`` reads via two waves.
+
+    ``on_record``, when given, is called as ``on_record(i, record)``
+    for each finished read in window order the moment the window's
+    traceback wave resolves — the streaming hook ``repro serve`` uses
+    to answer each request without waiting for a whole run.  The
+    callback must not mutate the aligner; records are computed before
+    the first call, so output is identical with or without it.
+    """
     with obs.span(names.SPAN_PIPELINE_WINDOW, reads=len(window)):
         reads, chains = _collect_chains(aligner, window)
         _run_left_wave(aligner, chains)
         _run_right_wave(aligner, chains)
-        return _finalize_window(aligner, reads)
+        records = _finalize_window(aligner, reads)
+    if on_record is not None:
+        for i, record in enumerate(records):
+            on_record(i, record)
+    return records
 
 
 def align_batched(
-    aligner, reads, batch_size: int = DEFAULT_BATCH_SIZE, progress=None
+    aligner,
+    reads,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    progress=None,
+    on_record=None,
 ) -> list[SamRecord]:
     """Align ``reads`` window by window through the wave scheduler.
 
@@ -325,8 +341,10 @@ def align_batched(
     objects.  Records come back in input order, byte-identical to
     ``aligner.align(reads)``.  ``progress``, when given, is called
     after each completed window as ``progress(window_index, done,
-    total)`` — it must not mutate the aligner (the scheduler's output
-    stays byte-identical whether a callback is attached or not).
+    total)``; ``on_record(global_index, record)`` fires per read as
+    its window finishes.  Neither callback may mutate the aligner (the
+    scheduler's output stays byte-identical whether callbacks are
+    attached or not).
     """
     if batch_size < 1:
         raise ValueError("batch size must be at least 1")
@@ -336,8 +354,16 @@ def align_batched(
     ]
     records: list[SamRecord] = []
     for index, start in enumerate(range(0, len(normalized), batch_size)):
+        base = len(records)
+        window_cb = None
+        if on_record is not None:
+            window_cb = lambda i, rec, _b=base: on_record(_b + i, rec)
         records.extend(
-            align_window(aligner, normalized[start : start + batch_size])
+            align_window(
+                aligner,
+                normalized[start : start + batch_size],
+                on_record=window_cb,
+            )
         )
         if progress is not None:
             progress(index, len(records), len(normalized))

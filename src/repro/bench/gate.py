@@ -55,10 +55,18 @@ class GateResult:
 
 
 def _matching(record: dict, baseline: list[dict], same_host: bool):
+    """Baseline records comparable to ``record``, most recent last.
+
+    Comparable means same config fingerprint, same ``quick`` flag
+    (a full run must never be gated against quick-run medians — the
+    corpora differ by an order of magnitude), and, for throughput,
+    same host.
+    """
     out = [
         r
         for r in baseline
         if r.get("fingerprint") == record.get("fingerprint")
+        and bool(r.get("quick")) == bool(record.get("quick"))
         and (not same_host or r.get("host") == record.get("host"))
     ]
     return out[-BASELINE_WINDOW:]

@@ -382,6 +382,189 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument(
         "metrics_file", help="metrics JSON written by --metrics-out"
     )
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the resident alignment server (see docs/serve.md)",
+        parents=[obs_opts, kernel_opts],
+    )
+    srv.add_argument("--reference", required=True)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: bind an ephemeral port and "
+        "announce it via --port-file)",
+    )
+    srv.add_argument(
+        "--port-file",
+        metavar="FILE",
+        help="write the bound port here once listening (how scripts "
+        "find an ephemeral port)",
+    )
+    srv.add_argument(
+        "--seeding", choices=("smem", "kmer"), default="smem"
+    )
+    srv.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=256,
+        metavar="N",
+        help="admission queue bound (default 256)",
+    )
+    srv.add_argument(
+        "--high-water",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shed new requests at this queue depth "
+        "(default: the capacity)",
+    )
+    srv.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="reads per micro-batch wave (default 64)",
+    )
+    srv.add_argument(
+        "--linger-ms",
+        type=float,
+        default=20.0,
+        metavar="MS",
+        help="how long a wave waits to fill (default 20)",
+    )
+    srv.add_argument(
+        "--default-deadline-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="deadline for requests that carry none (default: none)",
+    )
+    srv.add_argument(
+        "--quota-rate",
+        type=float,
+        default=None,
+        metavar="PER_S",
+        help="per-client token-bucket refill rate "
+        "(default: quotas off)",
+    )
+    srv.add_argument(
+        "--quota-burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="token-bucket burst size (default: the rate)",
+    )
+    srv.add_argument(
+        "--wal-dir",
+        metavar="DIR",
+        help="write-ahead request log directory; on restart the "
+        "server reports requests a crashed run admitted but never "
+        "answered",
+    )
+    srv.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive failed waves that open the engine circuit "
+        "breaker (default 5)",
+    )
+    srv.add_argument(
+        "--breaker-probe-interval",
+        type=int,
+        default=32,
+        metavar="N",
+        help="denied waves between half-open probes (default 32)",
+    )
+    srv.add_argument(
+        "--net-disconnect-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="chaos seam: probability a response send finds the "
+        "client disconnected (default 0)",
+    )
+    srv.add_argument(
+        "--net-stall-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="chaos seam: probability a response send stalls "
+        "(default 0)",
+    )
+    srv.add_argument(
+        "--net-fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="RNG seed of the network fault plan (default 0)",
+    )
+
+    cl = sub.add_parser(
+        "client",
+        help="drive a running server: burst a FASTQ at it, or probe "
+        "STATUS (see docs/serve.md)",
+    )
+    cl.add_argument("--host", default="127.0.0.1")
+    cl.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="server port (or use --port-file)",
+    )
+    cl.add_argument(
+        "--port-file",
+        metavar="FILE",
+        help="read the port from a file `repro serve --port-file` wrote",
+    )
+    cl.add_argument(
+        "--reads", metavar="FILE", help="FASTQ of reads to align"
+    )
+    cl.add_argument(
+        "--connections",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrent pipelined connections (default 1)",
+    )
+    cl.add_argument(
+        "--client-id",
+        default="",
+        metavar="ID",
+        help="client id presented for quota accounting",
+    )
+    cl.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help="per-request deadline to attach (default: none)",
+    )
+    cl.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="send the FASTQ burst N times over (default 1)",
+    )
+    cl.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write served SAM body lines, in input order",
+    )
+    cl.add_argument(
+        "--json",
+        action="store_true",
+        help="print the load report as JSON instead of a summary line",
+    )
+    cl.add_argument(
+        "--status",
+        action="store_true",
+        help="just print the server's STATUS payload and exit",
+    )
     return parser
 
 
@@ -896,21 +1079,24 @@ def _align_sharded_cmd(
     sharded run lives in those merged metrics rather than a parent-side
     dispatcher summary (each worker runs its own dispatcher).
     """
-    from repro.aligner.parallel import align_sharded
+    from repro.aligner.parallel import StartMethodError, align_sharded
 
     spec = _engine_spec(args)
     encoded = [(r.name, encode(r.sequence)) for r in reads]
     start = time.perf_counter()
-    records = align_sharded(
-        reference,
-        encoded,
-        spec=spec,
-        workers=args.workers,
-        batch_size=args.batch_size,
-        start_method=args.start_method,
-        seeding=args.seeding,
-        reference_name=name,
-    )
+    try:
+        records = align_sharded(
+            reference,
+            encoded,
+            spec=spec,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            start_method=args.start_method,
+            seeding=args.seeding,
+            reference_name=name,
+        )
+    except StartMethodError as exc:
+        raise SystemExit(f"error: {exc}")
     elapsed = time.perf_counter() - start
     with open(args.out, "w") as handle:
         write_sam(
@@ -943,6 +1129,7 @@ def _align_durable_cmd(
     recomputes only the missing windows; the stitched SAM is
     byte-identical to an uninterrupted run.
     """
+    from repro.aligner.parallel import StartMethodError
     from repro.durability import (
         GracefulShutdown,
         JournalError,
@@ -998,6 +1185,8 @@ def _align_durable_cmd(
         )
         return 3
     except (JournalError, SupervisorError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    except StartMethodError as exc:
         raise SystemExit(f"error: {exc}") from exc
     elapsed = time.perf_counter() - start
     parts = [
@@ -1140,6 +1329,146 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resident alignment server until signalled, then drain.
+
+    The reference is loaded and indexed once; requests stream through
+    the wave scheduler continuously.  SIGINT/SIGTERM stop admission,
+    flush the in-flight waves, answer every straggler, and exit 0 —
+    a second signal kills immediately.  See ``docs/serve.md``.
+    """
+    from repro.serve.server import AlignmentServer, ServeConfig
+
+    name, reference = _load_reference(args.reference)
+    _resolve_kernel(args)
+    engine = BatchedEngine(kernel=getattr(args, "kernel", None))
+    aligner = Aligner(
+        reference, engine, seeding=args.seeding, reference_name=name
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+        queue_capacity=args.queue_capacity,
+        high_water=args.high_water,
+        max_batch=args.max_batch,
+        linger_ms=args.linger_ms,
+        default_deadline_ms=args.default_deadline_ms,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        wal_dir=args.wal_dir,
+        breaker_threshold=args.breaker_threshold,
+        breaker_probe_interval=args.breaker_probe_interval,
+    )
+    server = AlignmentServer(aligner, config)
+    if args.net_disconnect_rate or args.net_stall_rate:
+        from repro.faults.netfaults import NetFaultPlan, NetFaultPolicy
+
+        server.fault_plan = NetFaultPlan(
+            NetFaultPolicy(
+                seed=args.net_fault_seed,
+                disconnect_rate=args.net_disconnect_rate,
+                stall_rate=args.net_stall_rate,
+            )
+        )
+    port = server.start()
+    if server.lost_on_restart:
+        lost_ids = [rec.get("id") for rec in server.lost_on_restart]
+        print(
+            f"wal: previous run admitted {len(lost_ids)} requests it "
+            f"never answered: {', '.join(map(str, lost_ids))}",
+            file=sys.stderr,
+        )
+    print(
+        f"serving {name} ({len(reference)} bases) on "
+        f"{args.host}:{port} (queue {config.queue_capacity}, "
+        f"batch {config.max_batch})",
+        flush=True,
+    )
+    code = server.serve_forever()
+    snap = server.stats.snapshot()
+    shed_total = sum(snap["shed"].values())
+    print(
+        f"drained: served {snap['served']}, shed {shed_total}, "
+        f"timeouts {snap['timeouts']}, "
+        f"waves {snap['waves']}"
+    )
+    return code
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Drive a running server with a pipelined FASTQ burst.
+
+    Exit code 0 when every request was answered (served or typed
+    rejection); 1 when any request went unanswered (the connection
+    died first).  ``--status`` instead prints the server's health
+    payload and exits.
+    """
+    from repro.serve.client import request_status, run_load
+
+    port = args.port
+    if port is None:
+        if not args.port_file:
+            raise SystemExit("error: need --port or --port-file")
+        try:
+            with open(args.port_file) as handle:
+                port = int(handle.read().strip())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(
+                f"error: cannot read port from {args.port_file}: {exc}"
+            )
+    if args.status:
+        print(
+            json.dumps(
+                request_status(args.host, port), indent=2, sort_keys=True
+            )
+        )
+        return 0
+    if not args.reads:
+        raise SystemExit("error: need --reads (or --status)")
+    fastq = read_fastq(args.reads)
+    pairs = [(r.name, r.sequence) for r in fastq] * max(1, args.repeat)
+    report = run_load(
+        args.host,
+        port,
+        pairs,
+        connections=args.connections,
+        client=args.client_id,
+        deadline_ms=args.deadline_ms,
+    )
+    if args.out:
+        prefix = args.client_id or "load"
+        with open(args.out, "w") as handle:
+            for index in range(len(pairs)):
+                sam = report.ok.get(f"{prefix}-{index}")
+                if sam is not None:
+                    handle.write(sam + "\n")
+    shed_by_code: dict[str, int] = {}
+    for payload in report.errors.values():
+        code = payload.get("error", "?")
+        shed_by_code[code] = shed_by_code.get(code, 0) + 1
+    summary = {
+        "sent": report.sent,
+        "served": len(report.ok),
+        "shed": shed_by_code,
+        "unanswered": len(report.unanswered),
+        "elapsed_s": round(report.elapsed_s, 3),
+        "p50_ms": round(report.percentile_ms(0.50), 3),
+        "p99_ms": round(report.percentile_ms(0.99), 3),
+    }
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        print(
+            f"sent {summary['sent']}: {summary['served']} served, "
+            f"{sum(shed_by_code.values())} shed {shed_by_code}, "
+            f"{summary['unanswered']} unanswered in "
+            f"{summary['elapsed_s']}s "
+            f"(p50 {summary['p50_ms']}ms, p99 {summary['p99_ms']}ms)"
+        )
+    return 1 if report.unanswered else 0
+
+
 def _q(quantiles: dict, key: str) -> object:
     value = quantiles.get(key)
     return "-" if value is None else value
@@ -1165,6 +1494,8 @@ def main(argv: list[str] | None = None) -> int:
         "score": cmd_score,
         "bench": cmd_bench,
         "stats": cmd_stats,
+        "serve": cmd_serve,
+        "client": cmd_client,
     }
     try:
         code = handlers[args.command](args)

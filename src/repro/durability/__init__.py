@@ -21,7 +21,11 @@ scaled the pipeline across processes; this package makes the whole
   a half-open schedule;
 * :mod:`repro.durability.runner` — the journaled run driver the CLI
   uses: windowing, resume, graceful SIGINT/SIGTERM drain, and the
-  final stitch.
+  final stitch;
+* :mod:`repro.durability.wal` — the request write-ahead log behind
+  ``repro serve``: every admitted request hits disk before it is
+  queued, so a crashed server can name exactly which requests were
+  accepted but never answered.
 
 Everything composes with the chaos layer: a ``--chaos`` run that is
 killed and resumed still produces byte-identical SAM.  See
@@ -48,6 +52,7 @@ from repro.durability.supervisor import (
     SupervisorError,
     SupervisorPolicy,
 )
+from repro.durability.wal import RequestWAL, WalError, WalReplay
 
 __all__ = [
     "BreakerPolicy",
@@ -57,10 +62,13 @@ __all__ = [
     "JournalError",
     "PoisonPlan",
     "Quarantine",
+    "RequestWAL",
     "RunInterrupted",
     "RunJournal",
     "SupervisorError",
     "SupervisorPolicy",
+    "WalError",
+    "WalReplay",
     "run_fingerprint",
     "run_journaled",
 ]

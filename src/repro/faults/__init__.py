@@ -30,6 +30,7 @@ from repro.faults.injector import (
     DATAPATH_SITES,
     FaultInjector,
 )
+from repro.faults.netfaults import NetFaultPlan, NetFaultPolicy
 from repro.faults.resilience import (
     DeadLetter,
     ResilienceStats,
@@ -47,6 +48,8 @@ __all__ = [
     "FaultError",
     "FaultInjector",
     "MissingRecordFault",
+    "NetFaultPlan",
+    "NetFaultPolicy",
     "ResilienceStats",
     "ResilientDispatcher",
     "RetryPolicy",

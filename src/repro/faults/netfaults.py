@@ -1,0 +1,79 @@
+"""Network fault seams for the resident server's client sessions.
+
+The datapath chaos layer (:mod:`repro.faults.injector`) corrupts the
+accelerator; this module rehearses the *other* hostile boundary of
+``repro serve`` — the clients.  A :class:`NetFaultPlan` is attached to
+a :class:`~repro.serve.session.ClientSession` and consulted on every
+response send, deterministically (seeded) deciding to
+
+* **disconnect** — tear the connection down right before the write,
+  exactly as a client that gave up and closed mid-flight; or
+* **stall** — sleep before the write, modelling a client that stopped
+  draining its receive buffer.
+
+Both seams exercise the server's core disconnect-tolerance claim: a
+vanished or slow client costs one failed ``send`` and nothing else —
+no batcher stall, no unbounded buffering, no crash.  Tests assert the
+server's shed/served accounting stays exact under an active plan.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetFaultPolicy:
+    """Seeded probabilities for the client-side fault seams."""
+
+    seed: int = 0
+    disconnect_rate: float = 0.0
+    """Probability a send is preceded by a client disconnect."""
+    stall_rate: float = 0.0
+    """Probability a send is preceded by a client stall."""
+    stall_s: float = 0.05
+    """How long a stalled client blocks its own response."""
+
+    def __post_init__(self) -> None:
+        for name in ("disconnect_rate", "stall_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        if self.stall_s < 0:
+            raise ValueError("stall_s must be non-negative")
+
+
+class NetFaultPlan:
+    """A live, seeded instance of :class:`NetFaultPolicy`.
+
+    ``before_send(session)`` is the single seam: it returns ``False``
+    when the send should be abandoned (the plan disconnected the
+    client) and ``True`` when it may proceed — possibly after a stall.
+    The RNG is private to the plan, so a seeded serve run replays the
+    same disconnect schedule every time.
+    """
+
+    def __init__(
+        self, policy: NetFaultPolicy | None = None, sleep=time.sleep
+    ) -> None:
+        self.policy = policy or NetFaultPolicy()
+        self._rng = random.Random(self.policy.seed)
+        self._sleep = sleep
+        self.disconnects = 0
+        self.stalls = 0
+
+    def before_send(self, session) -> bool:
+        """Apply the seams ahead of one response write."""
+        policy = self.policy
+        if policy.disconnect_rate and (
+            self._rng.random() < policy.disconnect_rate
+        ):
+            self.disconnects += 1
+            session.close()
+            return False
+        if policy.stall_rate and self._rng.random() < policy.stall_rate:
+            self.stalls += 1
+            self._sleep(policy.stall_s)
+        return True

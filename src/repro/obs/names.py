@@ -193,6 +193,24 @@ SCORE_MAPQ_READS = "score.mapq.reads"
 SCORE_BAND_READS = "score.band.reads"
 """Scored reads per true-band bucket (labels: ``bucket``, ``outcome``)."""
 
+SERVE_REQUESTS_TOTAL = "serve.requests.total"
+"""Requests the server parsed, by verb (labels: ``verb``)."""
+
+SERVE_REQUESTS_SHED = "serve.requests.shed"
+"""Requests rejected before batching (labels: ``reason``)."""
+
+SERVE_REQUESTS_TIMEOUT = "serve.requests.timeout"
+"""Admitted requests dropped at pop time for an expired deadline."""
+
+SERVE_REQUESTS_SERVED = "serve.requests.served"
+"""ALIGN requests answered with a SAM line."""
+
+SERVE_CLIENT_DISCONNECTS = "serve.client.disconnects"
+"""Responses abandoned because the client had vanished."""
+
+SERVE_WAL_RECORDS = "serve.wal.records"
+"""Write-ahead log records appended (labels: ``op``)."""
+
 # -- histograms ---------------------------------------------------------
 
 CELLS_PER_EXTENSION = "seedex.cells.per_extension"
@@ -209,6 +227,12 @@ RESILIENCE_ATTEMPTS = "resilience.attempts.per_job"
 
 PIPELINE_BATCH_WAVE_JOBS = "pipeline.batch.wave.jobs"
 """Jobs carried by one wave (labels: ``side``)."""
+
+SERVE_BATCH_READS = "serve.batch.reads"
+"""Reads carried by one server micro-batch wave."""
+
+SERVE_REQUEST_SECONDS = "serve.request.seconds"
+"""Admission-to-response latency of one served ALIGN request."""
 
 # -- gauges -------------------------------------------------------------
 
@@ -241,6 +265,12 @@ SCORE_CORRECT_LOCUS_RATE = "score.correct_locus.rate"
 
 SCORE_TOLERANCE = "score.tolerance.bases"
 """Position tolerance window the scorecard used (bases)."""
+
+SERVE_QUEUE_DEPTH = "serve.queue.depth"
+"""Admission-queue depth sampled at each wave pop."""
+
+SERVE_CLIENTS_ACTIVE = "serve.clients.active"
+"""Client connections currently open."""
 
 
 def all_names() -> dict[str, str]:

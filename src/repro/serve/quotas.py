@@ -1,0 +1,103 @@
+"""Per-client token-bucket quotas for the admission gate.
+
+One :class:`TokenBucket` per client id: tokens refill continuously at
+``rate`` per second up to ``burst``; each admitted request takes one
+token, and an empty bucket rejects with a retry-after hint derived
+from the refill rate — the client is told exactly how long to back
+off instead of guessing.
+
+Buckets are created lazily by the :class:`QuotaTable` and evicted
+once idle past a horizon, so a server that has seen a million distinct
+client ids does not hold a million buckets forever.  All time is
+supplied by the caller (monotonic seconds), which keeps the policy
+deterministic under test.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass
+class QuotaDecision:
+    """The outcome of one bucket draw."""
+
+    allowed: bool
+    retry_after_ms: int = 0
+
+
+class TokenBucket:
+    """A continuously-refilled token bucket (``rate``/s, cap ``burst``)."""
+
+    def __init__(self, rate: float, burst: float, now: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.last = float(now)
+
+    def take(self, now: float) -> QuotaDecision:
+        """Try to take one token at monotonic time ``now`` (seconds)."""
+        elapsed = max(0.0, now - self.last)
+        self.last = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return QuotaDecision(allowed=True)
+        deficit = 1.0 - self.tokens
+        return QuotaDecision(
+            allowed=False,
+            retry_after_ms=max(1, int(1000.0 * deficit / self.rate)),
+        )
+
+
+class QuotaTable:
+    """Lazily-created per-client buckets behind one lock.
+
+    ``rate=None`` disables quotas entirely (every draw is allowed),
+    which is the server default — quotas are an operator opt-in.
+    Requests without a client id share the ``""`` bucket, so an
+    anonymous flood is still bounded.
+    """
+
+    IDLE_EVICT_S = 300.0
+    """Idle seconds after which a client's bucket is dropped."""
+
+    def __init__(self, rate: float | None, burst: float | None = None) -> None:
+        self.rate = rate
+        self.burst = burst if burst is not None else (rate or 1.0)
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether quotas are active at all."""
+        return self.rate is not None
+
+    def take(self, client: str, now: float) -> QuotaDecision:
+        """Draw one token for ``client`` at monotonic ``now``."""
+        if self.rate is None:
+            return QuotaDecision(allowed=True)
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now=now)
+                self._buckets[client] = bucket
+            decision = bucket.take(now)
+            if len(self._buckets) > 1024:
+                self._evict(now)
+            return decision
+
+    def _evict(self, now: float) -> None:
+        """Drop buckets idle past the horizon (caller holds the lock)."""
+        stale = [
+            key
+            for key, bucket in self._buckets.items()
+            if now - bucket.last > self.IDLE_EVICT_S
+        ]
+        for key in stale:
+            del self._buckets[key]

@@ -1,0 +1,124 @@
+"""One client connection: framed reader loop and serialized writer.
+
+A :class:`ClientSession` owns the accepted socket.  The server runs
+:meth:`run_reader` on a per-connection thread — it reads newline
+frames, parses them through the strict protocol validator, and hands
+each outcome to server callbacks — while responses are written from
+*other* threads (the batcher, the admission fast path) through
+:meth:`send`, which serializes writes behind a lock so concurrent
+rejections and wave results never interleave bytes on the wire.
+
+Disconnect tolerance is the design center: a client that vanishes
+mid-flight must cost the server nothing.  Every socket error flips the
+session dead and is swallowed; the batcher simply sees ``send`` return
+``False`` and moves on.  The chaos layer's network fault plan
+(:mod:`repro.faults.netfaults`) hooks ``send`` to rehearse exactly
+those disconnects and stalls deterministically.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    encode,
+    parse_request,
+)
+
+
+class ClientSession:
+    """A connected client: buffered reads, locked writes, dead flag."""
+
+    def __init__(self, sock: socket.socket, peer: str, session_id: int) -> None:
+        self.sock = sock
+        self.peer = peer
+        self.session_id = session_id
+        self.alive = True
+        self._wlock = threading.Lock()
+        self.fault_plan = None
+        """Optional :class:`repro.faults.netfaults.NetFaultPlan` seam."""
+
+    # -- writer side ----------------------------------------------------
+
+    def send(self, message: dict) -> bool:
+        """Write one response line; ``False`` once the client is gone.
+
+        Never raises: a peer reset mid-write marks the session dead and
+        reports failure, because a vanished client is an ordinary event
+        for a server, not an error.
+        """
+        plan = self.fault_plan
+        if plan is not None:
+            if not plan.before_send(self):
+                return False
+        with self._wlock:
+            if not self.alive:
+                return False
+            try:
+                self.sock.sendall(encode(message))
+                return True
+            except OSError:
+                self.alive = False
+                return False
+
+    # -- reader side ----------------------------------------------------
+
+    def run_reader(self, on_request, on_protocol_error) -> None:
+        """Read frames until EOF/error; dispatch each to a callback.
+
+        ``on_request(session, request)`` receives every valid request;
+        ``on_protocol_error(session, exc)`` receives violations (the
+        server answers those with a typed ``bad_request``).  An
+        oversized frame — no newline within the line cap — is a
+        protocol error followed by connection teardown, since resync
+        on an unframed stream is impossible.
+        """
+        try:
+            stream = self.sock.makefile("rb")
+        except OSError:
+            self.alive = False
+            return
+        try:
+            while True:
+                line = stream.readline(MAX_LINE_BYTES + 1)
+                if not line:
+                    break
+                if len(line) > MAX_LINE_BYTES and not line.endswith(b"\n"):
+                    on_protocol_error(
+                        self,
+                        ProtocolError("request line exceeds the size cap"),
+                    )
+                    break
+                if line.strip() == b"":
+                    continue
+                try:
+                    request = parse_request(line)
+                except ProtocolError as exc:
+                    on_protocol_error(self, exc)
+                    continue
+                on_request(self, request)
+        except (OSError, ValueError):
+            pass
+        finally:
+            self.alive = False
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+    # -- teardown -------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the socket down; safe to call from any thread, twice."""
+        self.alive = False
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass

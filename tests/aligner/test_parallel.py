@@ -19,7 +19,13 @@ from repro.aligner.engines import (
     PlainBandedEngine,
     SeedExEngine,
 )
-from repro.aligner.parallel import EngineSpec, _shard_plan, align_sharded
+from repro.aligner.parallel import (
+    EngineSpec,
+    StartMethodError,
+    _shard_plan,
+    align_sharded,
+    align_supervised,
+)
 from repro.genome.synth import (
     PLATINUM_LIKE,
     ReadSimulator,
@@ -153,3 +159,58 @@ class TestAlignSharded:
             names.PIPELINE_SHARD_SNAPSHOTS_MERGED, 0
         )
         assert merged == 0
+
+
+class TestStartMethodError:
+    """Spawn + fork-only state fails fast with a typed error.
+
+    Before this check, an unpicklable aligner option under
+    ``start_method="spawn"`` surfaced as a ``PicklingError`` traceback
+    from inside the pool bootstrap — after workers had started.
+    """
+
+    def test_sharded_spawn_rejects_unpicklable_options_up_front(
+        self, corpus
+    ):
+        reference, reads = corpus
+        with pytest.raises(StartMethodError) as excinfo:
+            align_sharded(
+                reference,
+                reads,
+                workers=2,
+                start_method="spawn",
+                seeding="kmer",
+                min_seed_len=lambda: 19,  # unpicklable on purpose
+            )
+        message = str(excinfo.value)
+        assert "spawn" in message
+        assert "aligner options" in message
+
+    def test_supervised_spawn_rejects_unpicklable_options_up_front(
+        self, corpus
+    ):
+        reference, reads = corpus
+        with pytest.raises(StartMethodError):
+            align_supervised(
+                reference,
+                reads,
+                workers=2,
+                start_method="spawn",
+                seeding="kmer",
+                min_seed_len=lambda: 19,
+            )
+
+    def test_fork_still_accepts_fork_only_state(self, corpus):
+        """Under fork the same payload is legal: nothing is pickled."""
+        reference, reads = corpus
+        records = align_sharded(
+            reference,
+            reads[:2],
+            workers=2,
+            start_method="fork",
+            seeding="kmer",
+        )
+        assert len(records) == 2
+
+    def test_error_is_a_typeerror_for_backward_compat(self):
+        assert issubclass(StartMethodError, TypeError)

@@ -14,11 +14,13 @@ import pytest
 from repro.bench import check_record, new_record
 
 
-def _record(metrics, host="ci", config=None, rev="abc1234", ts=1.7e9):
+def _record(
+    metrics, host="ci", config=None, rev="abc1234", ts=1.7e9, quick=True
+):
     return new_record(
         metrics,
         config or {"quick": True},
-        quick=True,
+        quick=quick,
         host=host,
         rev=rev,
         timestamp=ts,
@@ -88,6 +90,45 @@ class TestThroughputGate:
         regressed = dict(BASE_METRICS)
         regressed["kernel.numpy.ext_per_s"] = 1.0
         assert check_record(_record(regressed), other_config).ok
+
+    def test_quick_and_full_runs_never_gate_each_other(self):
+        """Same fingerprint, different ``quick`` flag: incomparable.
+
+        A quick run's tiny corpus posts very different absolute
+        throughput than a full run; before the quick-flag check a
+        full record could be gated against quick-run medians (or
+        vice versa) whenever their config fingerprints collided.
+        """
+        shared_config = {"modules": ["kernels"], "seed": 7}
+        quick_history = [
+            _record(
+                {**BASE_METRICS, "kernel.numpy.ext_per_s": 50_000.0},
+                config=shared_config,
+                quick=True,
+            )
+        ]
+        slow_full = dict(BASE_METRICS)
+        slow_full["kernel.numpy.ext_per_s"] = 2000.0
+        result = check_record(
+            _record(slow_full, config=shared_config, quick=False),
+            quick_history,
+        )
+        assert result.ok
+        assert any("not gated" in line for line in result.lines)
+        # And the symmetric case: a quick probe ignores full history.
+        assert check_record(
+            _record(slow_full, config=shared_config, quick=True),
+            [
+                _record(
+                    {
+                        **BASE_METRICS,
+                        "kernel.numpy.ext_per_s": 50_000.0,
+                    },
+                    config=shared_config,
+                    quick=False,
+                )
+            ],
+        ).ok
 
     def test_overhead_fractions_are_trend_only(self):
         worse = dict(BASE_METRICS)

@@ -1,0 +1,123 @@
+"""Request-WAL tests: framing, torn tails, and the lost-set contract.
+
+The WAL's one promise: after a crash, ``scan().lost`` names every
+admitted request that was never answered (it may conservatively also
+name requests whose ``done`` record didn't reach the file — over-
+reporting is allowed, silence is not).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability.wal import (
+    WAL_NAME,
+    RequestWAL,
+    WalReplay,
+    _frame,
+    _unframe,
+)
+
+
+class TestFraming:
+    def test_frame_round_trips(self):
+        payload = {"op": "admit", "id": "r1", "seq": 3}
+        assert _unframe(_frame(payload)) == payload
+
+    def test_frame_is_one_terminated_line(self):
+        raw = _frame({"op": "done", "id": "r1"})
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"",
+            b"short\n",
+            b"deadbeef {\"op\": \"admit\"}\n",  # wrong checksum
+            b"zzzzzzzz {\"op\": \"admit\"}\n",  # non-hex checksum
+            b"00000000 [1, 2]\n",  # not an object
+            _frame({"op": "admit"})[:-5],  # torn mid-payload
+        ],
+    )
+    def test_corrupt_frames_are_rejected_not_raised(self, raw):
+        assert _unframe(raw) is None
+
+    def test_flipped_byte_fails_the_checksum(self):
+        raw = bytearray(_frame({"op": "admit", "id": "r1"}))
+        raw[-3] ^= 0x01
+        assert _unframe(bytes(raw)) is None
+
+
+class TestReplay:
+    def test_lost_is_admitted_minus_completed_in_order(self):
+        replay = WalReplay(
+            admitted={
+                "a": {"id": "a"},
+                "b": {"id": "b"},
+                "c": {"id": "c"},
+            },
+            completed={"b"},
+            torn_lines=0,
+        )
+        assert [rec["id"] for rec in replay.lost] == ["a", "c"]
+
+
+class TestRequestWal:
+    def test_admit_done_round_trip(self, tmp_path):
+        path = tmp_path / WAL_NAME
+        wal = RequestWAL(path)
+        assert wal.admit("r1", "c1", "read0") == 1
+        assert wal.admit("r2", "c1", "read1") == 2
+        wal.done("r1")
+        wal.close()
+        replay = RequestWAL.scan(path)
+        assert set(replay.admitted) == {"r1", "r2"}
+        assert replay.admitted["r1"]["client"] == "c1"
+        assert replay.completed == {"r1"}
+        assert [rec["id"] for rec in replay.lost] == ["r2"]
+        assert replay.torn_lines == 0
+
+    def test_scan_missing_file_is_empty(self, tmp_path):
+        replay = RequestWAL.scan(tmp_path / "nope.wal")
+        assert replay.admitted == {}
+        assert replay.lost == []
+
+    def test_torn_tail_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / WAL_NAME
+        wal = RequestWAL(path)
+        wal.admit("r1", "c", "read0")
+        wal.done("r1")
+        wal.close()
+        with open(path, "ab") as handle:
+            handle.write(b"0f3a {\"op\": \"adm")  # crash mid-write
+        replay = RequestWAL.scan(path)
+        assert replay.lost == []
+        assert replay.torn_lines == 1
+
+    def test_open_dir_rotates_the_previous_log(self, tmp_path):
+        first = RequestWAL.open_dir(tmp_path)
+        first.admit("old", "c", "read0")
+        first.close()
+        second = RequestWAL.open_dir(tmp_path)
+        second.admit("new", "c", "read1")
+        second.close()
+        prev = RequestWAL.scan(tmp_path / (WAL_NAME + ".prev"))
+        live = RequestWAL.scan(tmp_path / WAL_NAME)
+        assert set(prev.admitted) == {"old"}
+        assert set(live.admitted) == {"new"}
+
+    def test_reopen_appends_rather_than_truncates(self, tmp_path):
+        path = tmp_path / WAL_NAME
+        wal = RequestWAL(path)
+        wal.admit("r1", "c", "read0")
+        wal.close()
+        again = RequestWAL(path)
+        again.admit("r2", "c", "read1")
+        again.close()
+        assert set(RequestWAL.scan(path).admitted) == {"r1", "r2"}
+
+    def test_sync_survives_a_closed_handle(self, tmp_path):
+        wal = RequestWAL(tmp_path / WAL_NAME)
+        wal.close()
+        wal.sync()  # must not raise

@@ -1,0 +1,74 @@
+"""Network-fault seam tests: seeded, deterministic, validated."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.netfaults import NetFaultPlan, NetFaultPolicy
+
+
+class _FakeSession:
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class TestNetFaultPolicy:
+    def test_defaults_are_inert(self):
+        policy = NetFaultPolicy()
+        assert policy.disconnect_rate == 0.0
+        assert policy.stall_rate == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"disconnect_rate": -0.1},
+            {"disconnect_rate": 1.5},
+            {"stall_rate": 2.0},
+            {"stall_s": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NetFaultPolicy(**kwargs)
+
+
+class TestNetFaultPlan:
+    def test_no_policy_always_sends(self):
+        plan = NetFaultPlan()
+        session = _FakeSession()
+        assert all(plan.before_send(session) for _ in range(50))
+        assert not session.closed
+
+    def test_certain_disconnect_closes_and_suppresses(self):
+        plan = NetFaultPlan(NetFaultPolicy(disconnect_rate=1.0))
+        session = _FakeSession()
+        assert plan.before_send(session) is False
+        assert session.closed
+        assert plan.disconnects == 1
+
+    def test_certain_stall_sleeps_then_sends(self):
+        naps: list[float] = []
+        plan = NetFaultPlan(
+            NetFaultPolicy(stall_rate=1.0, stall_s=0.25),
+            sleep=naps.append,
+        )
+        session = _FakeSession()
+        assert plan.before_send(session) is True
+        assert naps == [0.25]
+        assert plan.stalls == 1
+        assert not session.closed
+
+    def test_same_seed_same_fault_schedule(self):
+        def schedule(seed: int) -> list[bool]:
+            plan = NetFaultPlan(
+                NetFaultPolicy(seed=seed, disconnect_rate=0.5)
+            )
+            return [
+                plan.before_send(_FakeSession()) for _ in range(40)
+            ]
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)

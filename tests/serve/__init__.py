@@ -1,0 +1,1 @@
+"""Tests for the resident alignment server (``repro serve``)."""

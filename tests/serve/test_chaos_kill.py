@@ -1,0 +1,182 @@
+"""Chaos tier: SIGKILL the server mid-load and audit the WAL.
+
+The durability contract under the harshest failure (``SIGKILL``, no
+cleanup code runs): every request the server admitted but never
+answered must be named by the WAL's lost set, and every response that
+*did* arrive before the kill must be byte-identical to batch-mode
+output.  A restarted server over the same WAL directory must report
+exactly those lost requests over the STATUS verb.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.aligner.engines import BatchedEngine
+from repro.aligner.pipeline import Aligner
+from repro.durability.wal import WAL_NAME, RequestWAL
+from repro.genome.io_fasta import FastaRecord, write_fasta
+from repro.genome.sequence import decode
+from repro.genome.synth import ReadSimulator, synthesize_reference
+from repro.serve.client import request_status, run_load
+
+pytestmark = pytest.mark.chaos
+"""Chaos tier: selected by the CI chaos job via ``-m chaos``."""
+
+HOST = "127.0.0.1"
+
+_CLI = [
+    sys.executable,
+    "-c",
+    "from repro.cli import main; raise SystemExit(main())",
+]
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _wait_for_port(port_file: Path, timeout_s: float = 60.0) -> int:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if port_file.exists():
+            text = port_file.read_text().strip()
+            if text:
+                return int(text)
+        time.sleep(0.05)
+    raise TimeoutError(f"server never wrote {port_file}")
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """An on-disk reference plus batch-mode truth for its reads."""
+    root = tmp_path_factory.mktemp("chaos-kill")
+    rng = np.random.default_rng(11)
+    reference = synthesize_reference(10_000, rng)
+    ref_path = root / "ref.fa"
+    with open(ref_path, "w") as handle:
+        write_fasta(handle, [FastaRecord("chr1", decode(reference))])
+    reads = ReadSimulator(reference, seed=12).simulate(30)
+    pairs = [(r.name, decode(r.codes)) for r in reads]
+    aligner = Aligner(
+        reference, BatchedEngine(), seeding="kmer", reference_name="chr1"
+    )
+    truth = {
+        rec.qname: rec.to_line()
+        for rec in aligner.align_batched([(r.name, r.codes) for r in reads])
+    }
+    return ref_path, pairs, truth
+
+
+def test_sigkill_mid_load_loses_nothing_silently(corpus, tmp_path):
+    ref_path, pairs, truth = corpus
+    wal_dir = tmp_path / "wal"
+    port_file = tmp_path / "port"
+    proc = subprocess.Popen(
+        _CLI
+        + [
+            "serve",
+            "--reference",
+            str(ref_path),
+            "--seeding",
+            "kmer",
+            "--port-file",
+            str(port_file),
+            "--wal-dir",
+            str(wal_dir),
+            "--max-batch",
+            "8",
+            "--linger-ms",
+            "50",
+        ],
+        env=_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        port = _wait_for_port(port_file)
+        # Enough offered work that the kill lands mid-stream: ~240
+        # requests at >=50ms per 8-read wave is seconds of backlog.
+        burst = (pairs * 8)[:240]
+        box: list = []
+        loader = threading.Thread(
+            target=lambda: box.append(
+                run_load(
+                    HOST, port, burst, client="kill", timeout_s=30.0
+                )
+            ),
+            daemon=True,
+        )
+        loader.start()
+        time.sleep(0.4)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        loader.join(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    assert proc.returncode == -signal.SIGKILL
+    report = box[0]
+
+    replay = RequestWAL.scan(wal_dir / WAL_NAME)
+    assert len(replay.admitted) > 0
+
+    # Invariant 1: the WAL names every admitted-but-unanswered
+    # request (it may also conservatively name requests whose `done`
+    # record didn't survive the kill — over-reporting is allowed).
+    answered = set(report.ok) | set(report.errors)
+    lost_ids = {rec["id"] for rec in replay.lost}
+    for rid in replay.admitted:
+        if rid not in answered:
+            assert rid in lost_ids, (
+                f"{rid} was admitted, never answered, and the WAL "
+                "does not report it lost"
+            )
+
+    # Invariant 2: every response that did arrive is byte-identical
+    # to batch-mode `repro align` output for the same read.
+    assert len(report.ok) > 0, "kill landed before any response"
+    for sam in report.ok.values():
+        assert sam == truth[sam.split("\t")[0]]
+
+    # A restarted server over the same WAL directory reports exactly
+    # the lost set via STATUS, then drains cleanly on SIGTERM.
+    port_file2 = tmp_path / "port2"
+    proc2 = subprocess.Popen(
+        _CLI
+        + [
+            "serve",
+            "--reference",
+            str(ref_path),
+            "--seeding",
+            "kmer",
+            "--port-file",
+            str(port_file2),
+            "--wal-dir",
+            str(wal_dir),
+        ],
+        env=_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        port2 = _wait_for_port(port_file2)
+        status = request_status(HOST, port2)
+        assert set(status["lost_on_restart"]) == lost_ids
+        proc2.send_signal(signal.SIGTERM)
+        assert proc2.wait(timeout=60) == 0
+    finally:
+        if proc2.poll() is None:
+            proc2.kill()

@@ -1,0 +1,117 @@
+"""The wire protocol's contract: strict parsing, typed errors.
+
+Every rejection the server can utter is a member of the closed
+``ERROR_CODES`` set, and every malformed frame must fail validation
+with a :class:`ProtocolError` rather than reaching the aligner — the
+parser is the server's first line of defense against hostile input.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    E_BAD_REQUEST,
+    E_OVERLOADED,
+    ProtocolError,
+    align_request,
+    encode,
+    error,
+    ok_align,
+    ok_pong,
+    ok_status,
+    parse_request,
+    status_request,
+)
+
+
+class TestParseRequest:
+    def test_align_round_trip(self):
+        line = encode(
+            align_request(
+                "r1", "read0", "ACGTN", client="c1", deadline_ms=500
+            )
+        )
+        req = parse_request(line)
+        assert req.verb == "ALIGN"
+        assert req.id == "r1"
+        assert req.client == "c1"
+        assert req.name == "read0"
+        assert req.seq == "ACGTN"
+        assert req.deadline_ms == 500
+
+    def test_status_and_ping_need_no_sequence(self):
+        assert parse_request(encode(status_request("s1"))).verb == "STATUS"
+        ping = {"v": PROTOCOL_VERSION, "verb": "PING", "id": "p1"}
+        assert parse_request(encode(ping)).verb == "PING"
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.update(v=99),
+            lambda p: p.update(verb="EXTEND"),
+            lambda p: p.update(id=""),
+            lambda p: p.update(id=7),
+            lambda p: p.update(seq="ACGT!"),
+            lambda p: p.update(seq=""),
+            lambda p: p.update(name=""),
+            lambda p: p.update(deadline_ms=0),
+            lambda p: p.update(deadline_ms="soon"),
+            lambda p: p.update(client=3),
+        ],
+    )
+    def test_invalid_fields_raise_typed_errors(self, mutate):
+        payload = align_request("r1", "read0", "ACGT", deadline_ms=10)
+        mutate(payload)
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(encode(payload))
+        assert excinfo.value.code == E_BAD_REQUEST
+
+    def test_non_json_and_non_object_raise(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"not json\n")
+        with pytest.raises(ProtocolError):
+            parse_request(b"[1, 2]\n")
+        with pytest.raises(ProtocolError):
+            parse_request(b"\xff\xfe\n")
+
+    def test_oversized_line_rejected(self):
+        big = encode(
+            align_request("r1", "read0", "A" * (MAX_LINE_BYTES + 10))
+        )
+        with pytest.raises(ProtocolError):
+            parse_request(big)
+
+    def test_error_message_never_echoes_the_sequence(self):
+        payload = align_request("r1", "read0", "ACGT" * 100 + "!")
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(encode(payload))
+        assert "ACGTACGT" not in str(excinfo.value)
+
+
+class TestResponses:
+    def test_ok_shapes_mirror_the_request_id(self):
+        assert ok_align("r1", "x\t0")["id"] == "r1"
+        assert ok_status("s1", {"state": "serving"})["ok"] is True
+        assert ok_pong("p1")["pong"] is True
+
+    def test_error_requires_a_known_code(self):
+        payload = error("r1", E_OVERLOADED, "busy", retry_after_ms=40)
+        assert payload["error"] == E_OVERLOADED
+        assert payload["retry_after_ms"] == 40
+        with pytest.raises(ValueError):
+            error("r1", "made_up_code", "nope")
+
+    def test_error_codes_are_a_closed_unique_set(self):
+        assert len(set(ERROR_CODES)) == len(ERROR_CODES)
+
+    def test_encode_is_one_terminated_json_line(self):
+        raw = encode({"v": 1, "id": "x", "ok": True})
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+        assert json.loads(raw)["id"] == "x"
