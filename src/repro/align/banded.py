@@ -32,6 +32,28 @@ from repro.align.scoring import AffineGap
 from repro.genome.sequence import AMBIGUOUS_CODE
 
 
+class BatchShapeError(ValueError):
+    """A batch call's ``queries``/``targets``/``h0s`` lists disagree.
+
+    Every batch kernel promises results *in input order, one per
+    job* — a silent ``zip`` truncation would break that contract
+    invisibly, so mismatched list lengths raise this typed error
+    instead.  Subclasses :class:`ValueError` so pre-existing callers
+    that caught the old untyped error keep working.
+    """
+
+
+def check_batch_shapes(queries, targets, h0s) -> int:
+    """Validate the parallel batch lists; return the job count."""
+    n = len(queries)
+    if not (n == len(targets) == len(h0s)):
+        raise BatchShapeError(
+            "queries, targets, h0s must align: got "
+            f"{n}/{len(targets)}/{len(h0s)} entries"
+        )
+    return n
+
+
 @dataclass(frozen=True)
 class ExtensionResult:
     """Scores and check inputs produced by one banded extension.

@@ -22,6 +22,7 @@ import numpy as np
 from repro.align.banded import (
     ExtensionResult,
     boundary_length,
+    check_batch_shapes,
     full_band_for,
     upper_boundary_length,
 )
@@ -42,11 +43,10 @@ def extend_batch(
     """Run one banded extension per (query, target, h0) triple.
 
     Returns results in input order, each bit-identical to the scalar
-    kernel's output for the same job and band.
+    kernel's output for the same job and band.  Mismatched input list
+    lengths raise :class:`~repro.align.banded.BatchShapeError`.
     """
-    n = len(queries)
-    if not (n == len(targets) == len(h0s)):
-        raise ValueError("queries, targets, h0s must align")
+    n = check_batch_shapes(queries, targets, h0s)
     if n == 0:
         return []
     for h0 in h0s:

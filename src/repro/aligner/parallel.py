@@ -146,8 +146,9 @@ class EngineSpec:
     seed, disjoint job streams).  ``breaker_threshold`` (``None`` =
     off) arms the accelerator circuit breaker inside that dispatcher
     — see :mod:`repro.durability.breaker`.  ``kernel`` names the DP
-    backend (``scalar``/``numpy``; ``None`` = environment default) —
-    a name rather than an instance so the spec stays picklable.
+    backend (``scalar``/``numpy``/``striped``; ``None`` = environment
+    default) — a name rather than an instance so the spec stays
+    picklable.
     """
 
     kind: str = "full"

@@ -141,8 +141,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel",
         choices=available_kernels(),
         default=None,
-        help="DP kernel backend: 'scalar' (reference implementation) "
-        "or 'numpy' (vectorized anti-diagonal); default from "
+        help="DP kernel backend: 'scalar' (reference implementation), "
+        "'numpy' (vectorized anti-diagonal), or 'striped' "
+        "(shape-bucketed inter-sequence lockstep); default from "
         "$REPRO_KERNEL, else scalar.  Alignment output is "
         "bit-identical either way — only the @PG header line records "
         "the choice (see docs/kernels.md)",

@@ -240,7 +240,15 @@ class SeedExtender:
         self,
         jobs: list[tuple[np.ndarray, np.ndarray, int]],
     ) -> list[SeedExOutput]:
-        """Extend a batch of (query, target, h0) jobs in order."""
+        """Extend a batch of (query, target, h0) jobs in order.
+
+        Order is a contract, not an accident: ``result[k]`` always
+        belongs to ``jobs[k]``, regardless of how the active backend
+        reorders, buckets, or pads work internally (the striped kernel
+        sorts jobs by shape before sweeping and scatters results back).
+        Backends raise :class:`repro.align.banded.BatchShapeError` when
+        the per-job query/target/h0 lists disagree in length.
+        """
         return [self.extend(q, t, h0) for q, t, h0 in jobs]
 
     def extend_many(
@@ -254,6 +262,11 @@ class SeedExtender:
         full-band as a second batch.  Results are bit-identical to
         :meth:`extend_batch`, just much faster — this is the
         accelerator-shaped way to drive the model.
+
+        The same positional contract holds: ``out[k]`` is the result
+        for ``jobs[k]`` even when the backend buckets or reorders jobs
+        internally, and malformed batches surface as
+        :class:`repro.align.banded.BatchShapeError` from the kernel.
         """
         if not jobs:
             return []

@@ -3,13 +3,17 @@
 Every compute-heavy primitive the pipeline runs — the banded
 extension fill, its batched form, the relaxed-edit trapezoid sweep,
 the S1/S2 threshold math — goes through a :class:`KernelBackend`.
-Two implementations ship:
+Three implementations ship:
 
 * ``scalar`` (:mod:`repro.kernels.scalar`) — the original row-oriented
   kernels, the default;
 * ``numpy`` (:mod:`repro.kernels.wavefront`) — anti-diagonal
   (wavefront) kernels that vectorize along the dependency-free
-  diagonals, the way the accelerator's systolic array does.
+  diagonals, the way the accelerator's systolic array does;
+* ``striped`` (:mod:`repro.kernels.striped`) — inter-sequence lockstep
+  kernels that shape-bucket a batch and sweep every job of a bucket
+  together in a band-offset layout, the way the accelerator fills its
+  PE array with many independent extensions.
 
 Backends are bit-identical on everything observable (scores, CIGARs,
 boundary channels, thresholds, accept/rerun verdicts) — only the
@@ -31,11 +35,12 @@ from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.align.banded import ExtensionResult
+from repro.align.banded import BatchShapeError, ExtensionResult
 from repro.align.editdp import LeftEntryScores
 from repro.align.scoring import AffineGap
 from repro.core.thresholds import Thresholds
 from repro.kernels.scalar import ScalarKernel
+from repro.kernels.striped import StripedKernel
 from repro.kernels.wavefront import WavefrontKernel
 
 KERNEL_ENV_VAR = "REPRO_KERNEL"
@@ -97,6 +102,7 @@ class KernelBackend(Protocol):
 _KERNELS: dict[str, KernelBackend] = {
     ScalarKernel.name: ScalarKernel(),
     WavefrontKernel.name: WavefrontKernel(),
+    StripedKernel.name: StripedKernel(),
 }
 
 
@@ -130,8 +136,10 @@ def get_kernel(
 
 __all__ = [
     "KERNEL_ENV_VAR",
+    "BatchShapeError",
     "KernelBackend",
     "ScalarKernel",
+    "StripedKernel",
     "WavefrontKernel",
     "available_kernels",
     "get_kernel",

@@ -39,6 +39,7 @@ import numpy as np
 from repro.align.banded import (
     ExtensionResult,
     boundary_length,
+    check_batch_shapes,
     full_band_for,
     upper_boundary_length,
 )
@@ -87,10 +88,10 @@ def extend_batch(
     except for the execution-shape fields (``cells_computed`` uses the
     lockstep formula; ``terminated_early`` is always ``False``) —
     exactly the contract of :func:`repro.align.batchdp.extend_batch`.
+    Mismatched input list lengths raise
+    :class:`~repro.align.banded.BatchShapeError`.
     """
-    n = len(queries)
-    if not (n == len(targets) == len(h0s)):
-        raise ValueError("queries, targets, h0s must align")
+    n = check_batch_shapes(queries, targets, h0s)
     if n == 0:
         return []
     for h0 in h0s:

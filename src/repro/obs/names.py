@@ -172,6 +172,15 @@ RESILIENCE_BREAKER_PROBES = "resilience.breaker.probes"
 KERNEL_EXTENSIONS = "kernel.extensions"
 """Extension jobs served per DP kernel backend (labels: ``kernel``)."""
 
+KERNEL_BUCKET_TOTAL = "kernel.bucket_total"
+"""Shape buckets the striped kernel swept (one per distinct class)."""
+
+KERNEL_BUCKET_PAD_CELLS = "kernel.bucket_pad_cells"
+"""DP cells spent on bucket padding (padded minus useful cells)."""
+
+KERNEL_FALLBACK_TOTAL = "kernel.fallback_total"
+"""Batch jobs the striped kernel routed to the per-job fallback."""
+
 DURABILITY_WINDOWS_JOURNALED = "durability.windows.journaled"
 """Read windows whose SAM segment was committed to the journal."""
 
@@ -227,6 +236,14 @@ RESILIENCE_ATTEMPTS = "resilience.attempts.per_job"
 
 PIPELINE_BATCH_WAVE_JOBS = "pipeline.batch.wave.jobs"
 """Jobs carried by one wave (labels: ``side``)."""
+
+PIPELINE_BATCH_WAVE_CLASSES = "pipeline.batch.wave.shape_classes"
+"""Distinct striped-kernel shape classes in one wave (labels:
+``side``) — the wave scheduler's bucket density: 1 means the whole
+wave packs into a single dense sweep group."""
+
+KERNEL_BUCKET_JOBS = "kernel.bucket_jobs"
+"""Jobs packed into one striped-kernel shape bucket."""
 
 SERVE_BATCH_READS = "serve.batch.reads"
 """Reads carried by one server micro-batch wave."""

@@ -1,4 +1,4 @@
-"""Cross-kernel conformance: scalar and numpy backends bit-agree.
+"""Cross-kernel conformance: scalar, numpy, and striped bit-agree.
 
 The kernel layer's contract (docs/kernels.md) is that every backend
 produces identical results — scores, endpoints, boundary channels,
@@ -14,14 +14,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.align.banded import BatchShapeError, full_band_for
 from repro.align.scoring import relaxed_edit_scoring
 from repro.core.checker import CheckConfig, OptimalityChecker
 from repro.kernels import available_kernels, get_kernel
 
 from tests.strategies import (
     ExtensionJob,
+    RaggedBatch,
     extension_jobs,
     h0s,
+    ragged_batches,
     scoring_configs,
     sequences,
     threshold_edge_jobs,
@@ -29,12 +32,15 @@ from tests.strategies import (
 
 SCALAR = get_kernel("scalar")
 NUMPY = get_kernel("numpy")
+STRIPED = get_kernel("striped")
+ALL_KERNELS = (SCALAR, NUMPY, STRIPED)
 
 
-def test_registry_lists_both_backends():
-    assert available_kernels() == ("numpy", "scalar")
+def test_registry_lists_all_backends():
+    assert available_kernels() == ("numpy", "scalar", "striped")
     assert SCALAR.name == "scalar"
     assert NUMPY.name == "numpy"
+    assert STRIPED.name == "striped"
 
 
 def test_unknown_backend_is_rejected():
@@ -59,17 +65,19 @@ def test_extend_agrees(job: ExtensionJob):
     a = SCALAR.extend(
         job.query, job.target, job.scoring, job.h0, w=job.band
     )
-    b = NUMPY.extend(
-        job.query, job.target, job.scoring, job.h0, w=job.band
-    )
-    _assert_results_agree(a, b)
+    for kernel in (NUMPY, STRIPED):
+        b = kernel.extend(
+            job.query, job.target, job.scoring, job.h0, w=job.band
+        )
+        _assert_results_agree(a, b)
 
 
 @given(job=extension_jobs())
 def test_extend_full_band_agrees(job: ExtensionJob):
     a = SCALAR.extend(job.query, job.target, job.scoring, job.h0)
-    b = NUMPY.extend(job.query, job.target, job.scoring, job.h0)
-    _assert_results_agree(a, b)
+    for kernel in (NUMPY, STRIPED):
+        b = kernel.extend(job.query, job.target, job.scoring, job.h0)
+        _assert_results_agree(a, b)
 
 
 @given(
@@ -89,10 +97,84 @@ def test_extend_batch_agrees(scoring, band, jobs):
     targets = [t for _, t, _ in jobs]
     seeds = [h0 for _, _, h0 in jobs]
     a = SCALAR.extend_batch(queries, targets, seeds, scoring, w=band)
-    b = NUMPY.extend_batch(queries, targets, seeds, scoring, w=band)
-    assert len(a) == len(b) == len(jobs)
-    for ra, rb in zip(a, b):
-        _assert_results_agree(ra, rb)
+    for kernel in (NUMPY, STRIPED):
+        b = kernel.extend_batch(queries, targets, seeds, scoring, w=band)
+        assert len(a) == len(b) == len(jobs)
+        for ra, rb in zip(a, b):
+            _assert_results_agree(ra, rb)
+
+
+@given(batch=ragged_batches())
+def test_ragged_batch_agrees(batch: RaggedBatch):
+    """Per-job agreement on ragged batches across all three backends.
+
+    Covers the striped kernel's bucketing edges (empty batch, single
+    job, one job per bucket, exact pad boundaries) and checks not just
+    scores and boundary channels but the accept/rerun verdicts those
+    feed.  The edit check demands a scoring its relaxed scheme
+    dominates, so for the drawn schemes that violate that it is
+    switched off (the E-score verdict path still runs).
+    """
+    config = CheckConfig(
+        use_edit_check=relaxed_edit_scoring().dominates(batch.scoring)
+    )
+    baseline = None
+    for kernel in ALL_KERNELS:
+        results = kernel.extend_batch(
+            batch.queries, batch.targets, batch.h0s,
+            batch.scoring, w=batch.band,
+        )
+        assert len(results) == len(batch.queries)
+        checker = OptimalityChecker(
+            batch.scoring, config, kernel=kernel
+        )
+        verdicts = [
+            checker.check(q, t, res).outcome
+            for q, t, res in zip(batch.queries, batch.targets, results)
+        ]
+        if baseline is None:
+            baseline = (results, verdicts)
+            continue
+        for ra, rb in zip(baseline[0], results):
+            _assert_results_agree(ra, rb)
+        assert verdicts == baseline[1]
+
+
+@given(batch=ragged_batches())
+def test_batch_order_is_preserved(batch: RaggedBatch):
+    """``extend_batch`` result ``k`` belongs to job ``k`` — for every
+    backend, even the one that buckets and reorders internally."""
+    w = batch.band
+    if w is None:
+        # Match the batch kernels' global band resolution so the
+        # per-job reference runs the same geometry.
+        w = max(
+            (
+                full_band_for(len(q), len(t))
+                for q, t in zip(batch.queries, batch.targets)
+            ),
+            default=0,
+        )
+    for kernel in ALL_KERNELS:
+        results = kernel.extend_batch(
+            batch.queries, batch.targets, batch.h0s,
+            batch.scoring, w=batch.band,
+        )
+        for q, t, h0, res in zip(
+            batch.queries, batch.targets, batch.h0s, results
+        ):
+            solo = kernel.extend(q, t, batch.scoring, h0, w=w)
+            _assert_results_agree(solo, res)
+
+
+def test_mismatched_batch_lists_raise_typed_error():
+    q = [np.zeros(4, dtype=np.uint8)]
+    t = [np.zeros(6, dtype=np.uint8), np.zeros(6, dtype=np.uint8)]
+    for kernel in ALL_KERNELS:
+        with pytest.raises(BatchShapeError):
+            kernel.extend_batch(q, t, [0], None, w=5)
+        with pytest.raises(BatchShapeError):
+            kernel.extend_batch(q, [t[0]], [0, 1], None, w=5)
 
 
 @given(
@@ -104,9 +186,10 @@ def test_extend_batch_agrees(scoring, band, jobs):
 )
 def test_thresholds_agree(scoring, qlen, tlen, band, h0):
     a = SCALAR.thresholds(scoring, qlen, tlen, band, h0)
-    b = NUMPY.thresholds(scoring, qlen, tlen, band, h0)
-    assert a.s1 == b.s1
-    assert a.s2 == b.s2
+    for kernel in (NUMPY, STRIPED):
+        b = kernel.thresholds(scoring, qlen, tlen, band, h0)
+        assert a.s1 == b.s1
+        assert a.s2 == b.s2
 
 
 @given(
@@ -144,7 +227,7 @@ def test_left_entry_agrees(query, target, band, corner, tops):
 def test_verdicts_agree(job: ExtensionJob):
     """Accept/rerun decisions match even exactly on the S1/S2 edge."""
     decisions = []
-    for kernel in (SCALAR, NUMPY):
+    for kernel in ALL_KERNELS:
         checker = OptimalityChecker(
             job.scoring, CheckConfig(), kernel=kernel
         )
@@ -154,13 +237,14 @@ def test_verdicts_agree(job: ExtensionJob):
         decisions.append(
             checker.check(job.query, job.target, result)
         )
-    a, b = decisions
-    assert a.outcome == b.outcome
-    assert a.score_nb == b.score_nb
-    assert a.thresholds.s1 == b.thresholds.s1
-    assert a.thresholds.s2 == b.thresholds.s2
-    assert a.score_max_e == b.score_max_e
-    assert a.score_ed == b.score_ed
+    a = decisions[0]
+    for b in decisions[1:]:
+        assert a.outcome == b.outcome
+        assert a.score_nb == b.score_nb
+        assert a.thresholds.s1 == b.thresholds.s1
+        assert a.thresholds.s2 == b.thresholds.s2
+        assert a.score_max_e == b.score_max_e
+        assert a.score_ed == b.score_ed
 
 
 @settings(deadline=None, max_examples=1)
@@ -195,6 +279,7 @@ def test_corpus_bit_identity(_):
         for name in available_kernels()
     }
     assert outputs["scalar"] == outputs["numpy"]
+    assert outputs["scalar"] == outputs["striped"]
     # Sanity: the corpus actually maps (guards against a vacuous pass).
     mapped = sum(
         1

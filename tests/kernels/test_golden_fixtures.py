@@ -53,14 +53,14 @@ def _run_align(tmp_path, *extra: str) -> str:
     return out.read_text()
 
 
-@pytest.mark.parametrize("kernel", ["scalar", "numpy"])
+@pytest.mark.parametrize("kernel", ["scalar", "numpy", "striped"])
 def test_golden_sam_per_kernel(tmp_path, kernel):
     text = _run_align(tmp_path, "--kernel", kernel)
     assert f"DS:kernel={kernel}" in text.splitlines()[2]
     assert _strip_pg(text) == EXPECTED.read_text()
 
 
-@pytest.mark.parametrize("kernel", ["scalar", "numpy"])
+@pytest.mark.parametrize("kernel", ["scalar", "numpy", "striped"])
 def test_golden_sam_batched_sharded(tmp_path, kernel):
     """The wave scheduler across 2 workers still hits the golden bytes.
 

@@ -141,6 +141,105 @@ def extension_jobs(draw, max_len: int = 48) -> ExtensionJob:
     return ExtensionJob(query, target, int(h0), scoring, band)
 
 
+@dataclass(frozen=True)
+class RaggedBatch:
+    """One batch of mixed-shape jobs sharing a scoring scheme and band."""
+
+    queries: list[np.ndarray]
+    targets: list[np.ndarray]
+    h0s: list[int]
+    scoring: AffineGap
+    band: int | None
+
+
+_PAD_BOUNDARY_LENGTHS = (15, 16, 17, 31, 32, 33, 63, 64, 65)
+"""Lengths straddling the striped kernel's power-of-two shape-class
+boundaries — one off either side of each pad edge."""
+
+
+@st.composite
+def ragged_batches(draw, max_jobs: int = 8) -> RaggedBatch:
+    """Batches biased toward the striped kernel's bucketing edges.
+
+    Beyond generic mixed-length batches, the structured draws cover:
+    the empty batch, the single-job batch, the all-identical batch
+    (one bucket, zero ragged padding), one job per shape bucket (every
+    bucket below its occupancy floor), and jobs whose lengths land
+    exactly on the power-of-two pad boundaries.
+    """
+    kind = draw(
+        st.sampled_from(
+            ("mixed", "mixed", "mixed", "empty", "single",
+             "identical", "per_bucket", "pad_boundary")
+        )
+    )
+    scoring = draw(scoring_configs())
+    band = draw(st.one_of(st.none(), bands()))
+    if kind == "empty":
+        return RaggedBatch([], [], [], scoring, band)
+    if kind == "single":
+        jobs = [draw(_batch_job())]
+    elif kind == "identical":
+        q, t, h0 = draw(_batch_job())
+        jobs = [(q.copy(), t.copy(), h0)] * draw(
+            st.integers(2, max_jobs)
+        )
+    elif kind == "per_bucket":
+        # Distinct power-of-two classes: 16, 32, 64, ... one job each.
+        n_buckets = draw(st.integers(2, 4))
+        jobs = []
+        for b in range(n_buckets):
+            lo = 1 if b == 0 else (16 << (b - 1)) + 1
+            hi = 16 << b
+            tlen = draw(st.integers(lo, hi))
+            qlen = draw(st.integers(0, tlen + 4))
+            jobs.append(
+                (
+                    draw(sequences(min_size=qlen, max_size=qlen)),
+                    draw(sequences(min_size=tlen, max_size=tlen)),
+                    draw(h0s()),
+                )
+            )
+    elif kind == "pad_boundary":
+        jobs = []
+        for _ in range(draw(st.integers(1, max_jobs))):
+            tlen = draw(st.sampled_from(_PAD_BOUNDARY_LENGTHS))
+            qlen = draw(
+                st.one_of(
+                    st.sampled_from(_PAD_BOUNDARY_LENGTHS),
+                    st.integers(0, 20),
+                )
+            )
+            jobs.append(
+                (
+                    draw(sequences(min_size=qlen, max_size=qlen)),
+                    draw(sequences(min_size=tlen, max_size=tlen)),
+                    draw(h0s()),
+                )
+            )
+    else:
+        jobs = draw(
+            st.lists(_batch_job(), min_size=1, max_size=max_jobs)
+        )
+    return RaggedBatch(
+        [q for q, _, _ in jobs],
+        [t for _, t, _ in jobs],
+        [h0 for _, _, h0 in jobs],
+        scoring,
+        band,
+    )
+
+
+@st.composite
+def _batch_job(draw) -> tuple[np.ndarray, np.ndarray, int]:
+    """One generic (query, target, h0) triple for ragged batches."""
+    return (
+        draw(sequences(max_size=40)),
+        draw(sequences(min_size=1, max_size=48)),
+        draw(h0s()),
+    )
+
+
 @st.composite
 def threshold_edge_jobs(draw) -> ExtensionJob:
     """Jobs whose narrow-band score lands exactly on S1 or S2.
