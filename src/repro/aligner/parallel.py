@@ -66,6 +66,7 @@ from repro.durability.supervisor import (
 )
 from repro.genome.sam import SamRecord
 from repro.genome.sequence import decode
+from repro.index.store import IndexHandle
 from repro.obs import names
 
 _STATE = None
@@ -112,6 +113,21 @@ def _validate_spawn_payload(reference, spec, options) -> None:
                 "start_method='fork', or pass picklable values (e.g. an "
                 "EngineSpec recipe instead of an engine instance)"
             ) from exc
+
+
+def _probe_index(options: dict) -> None:
+    """Fail fast in the parent when the shipped index is unusable.
+
+    Workers receive an :class:`~repro.index.store.IndexHandle` inside
+    ``aligner_options`` and open the artifact themselves; probing it
+    here (envelope + pinned-fingerprint check, no section reads)
+    surfaces a vanished or swapped artifact as a typed error at the
+    dispatch site — before any process is spawned — instead of the
+    same error fanned out once per worker.
+    """
+    handle = options.get("index")
+    if isinstance(handle, IndexHandle):
+        handle.open(mmap=True, verify=False)
 
 
 def _resolve_context(start_method: str | None):
@@ -310,6 +326,7 @@ def align_sharded(
 
     ctx, method = _resolve_context(start_method)
     forked = method == "fork"
+    _probe_index(aligner_options)
     if not forked:
         _validate_spawn_payload(reference, spec, aligner_options)
     if forked:
@@ -832,6 +849,7 @@ def align_supervised(
     )
 
     ctx, method = _resolve_context(start_method)
+    _probe_index(aligner_options)
     if method != "fork":
         _validate_spawn_payload(reference, spec, aligner_options)
     supervisor = _Supervisor(

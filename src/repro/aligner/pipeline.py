@@ -30,6 +30,7 @@ from repro.aligner.engines import ExtensionEngine, FullBandEngine
 from repro.faults.errors import DeadLetterError
 from repro.genome.sam import FLAG_REVERSE, SamRecord
 from repro.genome.sequence import decode, reverse_complement
+from repro.index.store import IndexHandle, LoadedIndex
 from repro.obs import names
 from repro.seeding.chaining import Chain, chain_seeds, filter_chains
 from repro.seeding.fmindex import FMIndex
@@ -80,7 +81,14 @@ class Aligner:
         min_seed_length: int = 19,
         band_margin: int = 45,
         max_chains: int = 3,
+        index: LoadedIndex | IndexHandle | None = None,
     ) -> None:
+        # Shard workers receive the picklable capability, not the
+        # loaded artifact; resolving it here keeps one code path for
+        # in-process, forked, and spawned aligners — and surfaces a
+        # vanished/swapped artifact as the typed error, in the worker.
+        if isinstance(index, IndexHandle):
+            index = index.open()
         self.reference = np.asarray(reference, dtype=np.uint8)
         self.reference_name = reference_name
         self.engine = engine or FullBandEngine()
@@ -88,14 +96,30 @@ class Aligner:
         self.min_seed_length = min_seed_length
         self.band_margin = band_margin
         self.max_chains = max_chains
+        # A persistent index artifact, when provided, replaces the
+        # in-process build of the seeding structures — but only after
+        # it proves it describes *this* reference (and this k, for
+        # k-mer seeding).  IndexDriftError here, never wrong seeds.
+        self.index_meta: dict | None = None
+        if index is not None:
+            index.check_reference(self.reference)
         if seeding == "smem":
-            self._fm = FMIndex(self.reference)
+            if index is not None:
+                self._fm = index.fm_index()
+            else:
+                self._fm = FMIndex(self.reference)
             self._kmer = None
         elif seeding == "kmer":
             self._fm = None
-            self._kmer = KmerIndex(self.reference, k=min_seed_length)
+            if index is not None:
+                index.check_kmer_size(min_seed_length)
+                self._kmer = index.kmer_index()
+            else:
+                self._kmer = KmerIndex(self.reference, k=min_seed_length)
         else:
             raise ValueError(f"unknown seeding backend {seeding!r}")
+        if index is not None:
+            self.index_meta = index.meta()
         self.seeding = seeding
 
     # -- seeding ----------------------------------------------------------

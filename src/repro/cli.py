@@ -149,6 +149,22 @@ def build_parser() -> argparse.ArgumentParser:
         "the choice (see docs/kernels.md)",
     )
 
+    index_opts = argparse.ArgumentParser(add_help=False)
+    index_opts.add_argument(
+        "--index",
+        metavar="FILE",
+        help="persistent index artifact built by `repro index build`; "
+        "loaded zero-copy via mmap after CRC verification — output is "
+        "byte-identical to an index-less run (see docs/index.md)",
+    )
+    index_opts.add_argument(
+        "--rebuild-index",
+        action="store_true",
+        help="when the --index artifact fails its load ladder "
+        "(corrupt, stale schema, drifted reference), rebuild it in "
+        "place once and retry instead of aborting",
+    )
+
     sim = sub.add_parser(
         "simulate",
         help="generate a synthetic workload",
@@ -175,7 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     aln = sub.add_parser(
         "align",
         help="align reads to a reference",
-        parents=[obs_opts, chaos_opts, kernel_opts],
+        parents=[obs_opts, chaos_opts, kernel_opts, index_opts],
     )
     aln.add_argument("--reference", required=True)
     aln.add_argument("--reads", required=True)
@@ -387,7 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
     srv = sub.add_parser(
         "serve",
         help="run the resident alignment server (see docs/serve.md)",
-        parents=[obs_opts, kernel_opts],
+        parents=[obs_opts, kernel_opts, index_opts],
     )
     srv.add_argument("--reference", required=True)
     srv.add_argument("--host", default="127.0.0.1")
@@ -504,6 +520,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="RNG seed of the network fault plan (default 0)",
     )
 
+    idx = sub.add_parser(
+        "index",
+        help="build, verify, or inspect a persistent index artifact "
+        "(see docs/index.md)",
+        parents=[obs_opts],
+    )
+    idx_sub = idx.add_subparsers(dest="index_command", required=True)
+    idx_build = idx_sub.add_parser(
+        "build",
+        help="serialize the reference's seeding structures (suffix "
+        "array, FM-index, k-mer tables) into one CRC'd artifact",
+    )
+    idx_build.add_argument("--reference", required=True)
+    idx_build.add_argument("--out", required=True, metavar="FILE")
+    idx_build.add_argument(
+        "--min-seed-length",
+        type=int,
+        default=19,
+        metavar="K",
+        help="k-mer size of the hash tables; must match the aligner's "
+        "min seed length for k-mer seeding (default 19)",
+    )
+    idx_build.add_argument(
+        "--sa-sample-rate",
+        type=int,
+        default=8,
+        metavar="N",
+        help="FM-index sampled-SA rate (default 8)",
+    )
+    idx_verify = idx_sub.add_parser(
+        "verify",
+        help="climb the full load ladder (envelope + every section "
+        "CRC) without aligning anything; exit 0 iff intact",
+    )
+    idx_verify.add_argument("--index", required=True, metavar="FILE")
+    idx_info = idx_sub.add_parser(
+        "info",
+        help="print an artifact's identity: fingerprint, schema, "
+        "reference CRC, build params, section table",
+    )
+    idx_info.add_argument("--index", required=True, metavar="FILE")
+    idx_info.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (one JSON object)",
+    )
+
     cl = sub.add_parser(
         "client",
         help="drive a running server: burst a FASTQ at it, or probe "
@@ -596,9 +659,68 @@ def _resolve_kernel(args: argparse.Namespace) -> str:
     return name
 
 
-def _program_tags(args: argparse.Namespace) -> tuple[str, ...]:
-    """Extra ``@PG`` fields recording the run's DP backend."""
-    return (f"DS:kernel={_resolve_kernel(args)}",)
+def _program_tags(
+    args: argparse.Namespace, index_meta: dict | None = None
+) -> tuple[str, ...]:
+    """Extra ``@PG`` fields recording the run's DP backend.
+
+    When a persistent index artifact is in use its content fingerprint
+    and schema version join the tag, so every SAM names the exact
+    index that seeded it.  Alignment *records* are byte-identical
+    either way — only this header line differs, and the differential
+    suites compare with ``@PG`` stripped.
+    """
+    tag = f"DS:kernel={_resolve_kernel(args)}"
+    if index_meta is not None:
+        tag += (
+            f",index={index_meta['fingerprint']}"
+            f",schema={index_meta['schema_version']}"
+        )
+    return (tag,)
+
+
+def _open_index(args: argparse.Namespace, reference: np.ndarray):
+    """The CLI rung of the load ladder; ``None`` without ``--index``.
+
+    Loads and fully verifies the artifact, then pins it to this run's
+    reference (and k-mer size, when k-mer seeding is selected).  On a
+    typed refusal: with ``--rebuild-index`` the artifact is rebuilt in
+    place — exactly once — and reloaded; otherwise the run aborts with
+    the typed error.  There is no path from a refused artifact to
+    seeds.
+    """
+    path = getattr(args, "index", None)
+    if not path:
+        return None
+    from repro.index import IndexArtifactError, build_index, load_index
+    from repro.obs import names as mn
+
+    def _load_and_pin():
+        loaded = load_index(path)
+        loaded.check_reference(reference)
+        if getattr(args, "seeding", None) == "kmer":
+            loaded.check_kmer_size(19)
+        return loaded
+
+    try:
+        return _load_and_pin()
+    except IndexArtifactError as exc:
+        if not getattr(args, "rebuild_index", False):
+            raise SystemExit(
+                f"error: {type(exc).__name__}: {exc}\n(rerun with "
+                "--rebuild-index to rebuild the artifact in place, "
+                f"or `repro index build --reference {args.reference} "
+                f"--out {path}`)"
+            ) from exc
+        print(
+            f"warning: rebuilding {path}: {exc}", file=sys.stderr
+        )
+        if obs.enabled():
+            obs.get_registry().counter(
+                mn.INDEX_REBUILDS, "artifacts rebuilt after refusal"
+            ).inc()
+        build_index(reference, path)
+        return _load_and_pin()
 
 
 def _make_engine(args: argparse.Namespace):
@@ -971,6 +1093,8 @@ def cmd_align(args: argparse.Namespace) -> int:
         raise SystemExit("error: --workers must be at least 1")
     if args.resume and not args.run_dir:
         raise SystemExit("error: --resume needs --run-dir")
+    if args.index and args.paired:
+        raise SystemExit("error: --index supports single-end reads only")
     if args.run_dir:
         if args.paired:
             raise SystemExit(
@@ -1031,6 +1155,7 @@ def cmd_align(args: argparse.Namespace) -> int:
         engine,
         seeding=args.seeding,
         reference_name=name,
+        index=_open_index(args, reference),
     )
     encoded = [(r.name, encode(r.sequence)) for r in reads]
     progress = _JsonProgress() if args.log_json else None
@@ -1050,7 +1175,7 @@ def cmd_align(args: argparse.Namespace) -> int:
     with open(args.out, "w") as handle:
         write_sam(
             handle, records, name, len(reference),
-            program_tags=_program_tags(args),
+            program_tags=_program_tags(args, aligner.index_meta),
         )
     mapped = sum(1 for r in records if not r.is_unmapped)
     print(
@@ -1081,9 +1206,17 @@ def _align_sharded_cmd(
     dispatcher summary (each worker runs its own dispatcher).
     """
     from repro.aligner.parallel import StartMethodError, align_sharded
+    from repro.index import IndexArtifactError
 
     spec = _engine_spec(args)
+    loaded = _open_index(args, reference)
     encoded = [(r.name, encode(r.sequence)) for r in reads]
+    options = {"seeding": args.seeding, "reference_name": name}
+    if loaded is not None:
+        # Workers get the picklable capability (path + pinned
+        # fingerprint), not the loaded artifact: each opens the same
+        # file and shares its pages through the OS cache.
+        options["index"] = loaded.handle()
     start = time.perf_counter()
     try:
         records = align_sharded(
@@ -1093,16 +1226,19 @@ def _align_sharded_cmd(
             workers=args.workers,
             batch_size=args.batch_size,
             start_method=args.start_method,
-            seeding=args.seeding,
-            reference_name=name,
+            **options,
         )
     except StartMethodError as exc:
         raise SystemExit(f"error: {exc}")
+    except IndexArtifactError as exc:
+        raise SystemExit(f"error: {type(exc).__name__}: {exc}")
     elapsed = time.perf_counter() - start
     with open(args.out, "w") as handle:
         write_sam(
             handle, records, name, len(reference),
-            program_tags=_program_tags(args),
+            program_tags=_program_tags(
+                args, loaded.meta() if loaded is not None else None
+            ),
         )
     mapped = sum(1 for r in records if not r.is_unmapped)
     print(
@@ -1140,8 +1276,13 @@ def _align_durable_cmd(
         run_fingerprint,
         run_journaled,
     )
+    from repro.index import IndexArtifactError
 
     spec = _engine_spec(args)
+    loaded = _open_index(args, reference)
+    # The index fingerprint joins the journal manifest's configuration
+    # fingerprint, so `--resume` refuses a drifted artifact — while a
+    # byte-identical rebuild (same content fingerprint) still resumes.
     fingerprint = run_fingerprint(
         args.reference,
         args.reads,
@@ -1149,7 +1290,13 @@ def _align_durable_cmd(
         batch_size=args.batch_size,
         seeding=args.seeding,
         on_bad_record=args.on_bad_record,
+        index_fingerprint=(
+            loaded.fingerprint if loaded is not None else None
+        ),
     )
+    options = {"seeding": args.seeding}
+    if loaded is not None:
+        options["index"] = loaded.handle()
     policy = SupervisorPolicy(
         max_restarts=args.max_restarts, hung_timeout=args.hung_timeout
     )
@@ -1171,8 +1318,10 @@ def _align_durable_cmd(
                 policy=policy,
                 should_stop=shutdown,
                 start_method=args.start_method,
-                program_tags=_program_tags(args),
-                seeding=args.seeding,
+                program_tags=_program_tags(
+                    args, loaded.meta() if loaded is not None else None
+                ),
+                **options,
             )
     except RunInterrupted as exc:
         print(
@@ -1189,6 +1338,10 @@ def _align_durable_cmd(
         raise SystemExit(f"error: {exc}") from exc
     except StartMethodError as exc:
         raise SystemExit(f"error: {exc}") from exc
+    except IndexArtifactError as exc:
+        raise SystemExit(
+            f"error: {type(exc).__name__}: {exc}"
+        ) from exc
     elapsed = time.perf_counter() - start
     parts = [
         f"aligned {len(encoded)} reads in {elapsed:.1f}s with engine "
@@ -1344,7 +1497,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     _resolve_kernel(args)
     engine = BatchedEngine(kernel=getattr(args, "kernel", None))
     aligner = Aligner(
-        reference, engine, seeding=args.seeding, reference_name=name
+        reference,
+        engine,
+        seeding=args.seeding,
+        reference_name=name,
+        index=_open_index(args, reference),
     )
     config = ServeConfig(
         host=args.host,
@@ -1380,12 +1537,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"never answered: {', '.join(map(str, lost_ids))}",
             file=sys.stderr,
         )
-    print(
+    banner = (
         f"serving {name} ({len(reference)} bases) on "
         f"{args.host}:{port} (queue {config.queue_capacity}, "
-        f"batch {config.max_batch})",
-        flush=True,
+        f"batch {config.max_batch})"
     )
+    if aligner.index_meta is not None:
+        banner += (
+            f" [index {aligner.index_meta['fingerprint']} "
+            f"schema {aligner.index_meta['schema_version']}]"
+        )
+    print(banner, flush=True)
     code = server.serve_forever()
     snap = server.stats.snapshot()
     shed_total = sum(snap["shed"].values())
@@ -1395,6 +1557,94 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"waves {snap['waves']}"
     )
     return code
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    """Build, verify, or inspect a persistent index artifact.
+
+    ``build`` is deterministic and atomic (tmp + fsync + rename) and
+    re-verifies its own bytes before reporting success; ``verify``
+    climbs the full load ladder and exits non-zero with the typed
+    error on any refusal; ``info`` prints the artifact's identity.
+    """
+    from repro.index import (
+        IndexArtifactError,
+        build_index,
+        read_header,
+        verify_artifact,
+    )
+
+    if args.index_command == "build":
+        _, reference = _load_reference(args.reference)
+        start = time.perf_counter()
+        loaded = build_index(
+            reference,
+            args.out,
+            k=args.min_seed_length,
+            sa_sample_rate=args.sa_sample_rate,
+        )
+        elapsed = time.perf_counter() - start
+        from pathlib import Path
+
+        size = Path(args.out).stat().st_size
+        print(
+            f"built {args.out} ({size} bytes) in {elapsed:.1f}s: "
+            f"fingerprint {loaded.fingerprint}, schema "
+            f"{loaded.header.schema_version}, {len(reference)} bases, "
+            f"k={loaded.header.k}"
+        )
+        return 0
+    if args.index_command == "verify":
+        try:
+            header = verify_artifact(args.index)
+        except IndexArtifactError as exc:
+            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"{args.index}: intact (fingerprint {header.fingerprint}, "
+            f"schema {header.schema_version}, "
+            f"{len(header.sections)} sections verified)"
+        )
+        return 0
+    # info: envelope only — prints identity even when a section is
+    # damaged (verify is the integrity tool).
+    try:
+        header = read_header(args.index)
+    except IndexArtifactError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    payload = {
+        "path": args.index,
+        "fingerprint": header.fingerprint,
+        "schema_version": header.schema_version,
+        "reference_length": header.reference_length,
+        "reference_crc": f"{header.reference_crc:08x}",
+        "params": header.params,
+        "sections": {
+            name: {
+                "dtype": meta.dtype,
+                "shape": list(meta.shape),
+                "nbytes": meta.nbytes,
+            }
+            for name, meta in sorted(header.sections.items())
+        },
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{args.index}: fingerprint {header.fingerprint}, schema "
+            f"{header.schema_version}, reference "
+            f"{header.reference_length} bases "
+            f"(crc {header.reference_crc:08x}), k={header.k}, "
+            f"sa_sample_rate={header.sa_sample_rate}"
+        )
+        for name, meta in sorted(header.sections.items()):
+            print(
+                f"  {name}: {meta.dtype}{list(meta.shape)} "
+                f"({meta.nbytes} bytes)"
+            )
+    return 0
 
 
 def cmd_client(args: argparse.Namespace) -> int:
@@ -1497,6 +1747,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": cmd_stats,
         "serve": cmd_serve,
         "client": cmd_client,
+        "index": cmd_index,
     }
     try:
         code = handlers[args.command](args)

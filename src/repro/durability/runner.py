@@ -31,7 +31,7 @@ from pathlib import Path
 
 from repro.durability.journal import RunJournal
 
-_FINGERPRINT_VERSION = 1
+_FINGERPRINT_VERSION = 2
 
 
 class RunInterrupted(RuntimeError):
@@ -111,6 +111,7 @@ def run_fingerprint(
     batch_size: int,
     seeding: str,
     on_bad_record: str = "fail",
+    index_fingerprint: str | None = None,
 ) -> dict:
     """The configuration fingerprint pinned into a journal manifest.
 
@@ -120,6 +121,13 @@ def run_fingerprint(
     absent: windows are the unit of work, so a run may resume at a
     different parallelism with identical output.  ``spec`` is an
     :class:`~repro.aligner.parallel.EngineSpec`.
+
+    ``index_fingerprint`` is the content fingerprint of the persistent
+    index artifact the run seeds from (``None`` when seeding
+    structures are built in-process).  Pinning it means ``--resume``
+    refuses a drifted or swapped index — while a deleted-and-rebuilt
+    artifact with identical content still resumes, because the
+    fingerprint is content-addressed, not path- or mtime-based.
     """
     return {
         "version": _FINGERPRINT_VERSION,
@@ -129,6 +137,7 @@ def run_fingerprint(
         "batch_size": int(batch_size),
         "seeding": seeding,
         "on_bad_record": on_bad_record,
+        "index": index_fingerprint,
     }
 
 

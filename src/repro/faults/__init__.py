@@ -25,6 +25,13 @@ from repro.faults.errors import (
     StalledStreamFault,
     TransientAcceleratorFault,
 )
+from repro.faults.indexfaults import (
+    bitflip_section,
+    stale_magic,
+    stale_version,
+    tamper_header,
+    truncate_at,
+)
 from repro.faults.injector import (
     ALL_SITES,
     DATAPATH_SITES,
@@ -56,4 +63,9 @@ __all__ = [
     "SilentCorruptionError",
     "StalledStreamFault",
     "TransientAcceleratorFault",
+    "bitflip_section",
+    "stale_magic",
+    "stale_version",
+    "tamper_header",
+    "truncate_at",
 ]

@@ -1,0 +1,98 @@
+"""Corruption seams for the persistent index store's chaos suite.
+
+Each function takes an intact artifact and produces a damaged copy of
+a specific, realistic kind — a flipped bit inside one section, a
+truncated download, a file from a different tool or era, a header
+edited after the CRC was computed.  The corruption chaos tests drive
+every seam through :func:`repro.index.store.load_index` and assert
+two things: the load ladder raises exactly the right typed error, and
+no code path ever produces seeds from the damaged bytes.
+
+These helpers are test seams, not general utilities: they operate on
+copies (the caller supplies the destination) and are deterministic —
+a given seam + artifact always yields the same damaged bytes, so a
+failing chaos case replays exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.index import format as fmt
+
+
+def _read(src: str | Path) -> bytearray:
+    return bytearray(Path(src).read_bytes())
+
+
+def _write(dst: str | Path, data: bytes | bytearray) -> Path:
+    dst = Path(dst)
+    dst.write_bytes(bytes(data))
+    return dst
+
+
+def bitflip_section(
+    src: str | Path, dst: str | Path, section: str, at: float = 0.5
+) -> Path:
+    """Flip every bit of one byte inside ``section``.
+
+    ``at`` picks the position as a fraction of the section's length
+    (0.5 = the middle byte).  Expected detection:
+    :class:`~repro.index.errors.IndexCorruptError` naming ``section``.
+    """
+    header = fmt.read_header(src)
+    meta = header.sections[section]
+    data = _read(src)
+    offset = meta.offset + min(meta.nbytes - 1, int(meta.nbytes * at))
+    data[offset] ^= 0xFF
+    return _write(dst, data)
+
+
+def truncate_at(src: str | Path, dst: str | Path, nbytes: int) -> Path:
+    """Keep only the first ``nbytes`` bytes — a torn copy or download.
+
+    Expected detection: :class:`~repro.index.errors.IndexCorruptError`
+    (truncated header or a section table pointing past EOF), or
+    :class:`~repro.index.errors.IndexVersionError` when even the magic
+    is cut short.
+    """
+    return _write(dst, _read(src)[:nbytes])
+
+
+def stale_magic(src: str | Path, dst: str | Path) -> Path:
+    """Replace the magic bytes — the file is not an index artifact.
+
+    Expected detection: :class:`~repro.index.errors.IndexVersionError`.
+    """
+    data = _read(src)
+    data[: len(fmt.MAGIC)] = b"X" * len(fmt.MAGIC)
+    return _write(dst, data)
+
+
+def stale_version(
+    src: str | Path, dst: str | Path, version: int = 999
+) -> Path:
+    """Rewrite the schema version — an artifact from a different era.
+
+    Expected detection: :class:`~repro.index.errors.IndexVersionError`
+    carrying ``found=version`` (the file is never overwritten
+    implicitly: it might be valid for other code).
+    """
+    import struct
+
+    data = _read(src)
+    data[8:12] = struct.pack("<I", version)
+    return _write(dst, data)
+
+
+def tamper_header(src: str | Path, dst: str | Path) -> Path:
+    """Flip one byte inside the header JSON, leaving its CRC stale.
+
+    Expected detection: :class:`~repro.index.errors.IndexCorruptError`
+    with ``section="header"`` — the envelope CRC catches edits to any
+    field, including the section table and the recorded fingerprint.
+    """
+    data = _read(src)
+    # Byte 16 is the first header-JSON byte (after magic + two u32s).
+    data[16 + 8] ^= 0x01
+    return _write(dst, data)

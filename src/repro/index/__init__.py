@@ -1,0 +1,63 @@
+"""Persistent, CRC-verified, memory-mapped reference index store.
+
+Seeding structures (suffix array, FM-index tables, k-mer index) are
+expensive to build and were previously recomputed by every process on
+every run.  This package serializes them once into a single versioned
+artifact — ``repro index build`` — and loads them back zero-copy via
+``numpy.memmap``, so shard workers and the resident server all share
+one set of page-cache pages under both fork and spawn start methods.
+
+Safety before speed: every load climbs a ladder of integrity checks
+(magic/schema → header CRC → per-section CRC → fingerprint/drift
+pins) and fails with a *typed* error rather than ever serving seeds
+from damaged or mismatched bytes.  See ``docs/index.md`` for the
+artifact format and the drift rules.
+"""
+
+from __future__ import annotations
+
+from repro.index.build import build_index
+from repro.index.errors import (
+    IndexArtifactError,
+    IndexCorruptError,
+    IndexDriftError,
+    IndexMissingError,
+    IndexVersionError,
+)
+from repro.index.format import (
+    MAGIC,
+    SCHEMA_VERSION,
+    SECTION_NAMES,
+    IndexHeader,
+    SectionMeta,
+    build_fingerprint,
+    read_header,
+    reference_crc,
+)
+from repro.index.store import (
+    IndexHandle,
+    LoadedIndex,
+    load_index,
+    verify_artifact,
+)
+
+__all__ = [
+    "IndexArtifactError",
+    "IndexCorruptError",
+    "IndexDriftError",
+    "IndexHandle",
+    "IndexHeader",
+    "IndexMissingError",
+    "IndexVersionError",
+    "LoadedIndex",
+    "MAGIC",
+    "SCHEMA_VERSION",
+    "SECTION_NAMES",
+    "SectionMeta",
+    "build_fingerprint",
+    "build_index",
+    "load_index",
+    "read_header",
+    "reference_crc",
+    "verify_artifact",
+]

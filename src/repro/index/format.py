@@ -1,0 +1,436 @@
+"""The on-disk format of the persistent reference index artifact.
+
+One artifact file holds every seeding structure the aligner needs —
+the suffix array, the FM-index tables, and the k-mer index — as raw
+little-endian numpy blocks behind a small self-describing envelope:
+
+```
+offset 0   magic            8 bytes   b"REPROIDX"
+       8   schema version   u32 LE    SCHEMA_VERSION
+      12   header length    u32 LE    byte length of the header JSON
+      16   header JSON      canonical (sorted keys) UTF-8 JSON
+       +   header CRC-32    u32 LE    over the header JSON bytes
+       +   zero padding to the first 64-byte boundary
+       +   sections         raw array bytes, each 64-byte aligned
+```
+
+The header JSON carries the reference payload CRC + length, the build
+parameters, the build-params *fingerprint* (CRC-32 of the canonical
+params JSON via :func:`repro.durability.journal.payload_crc` — the
+same primitive the durability manifest uses), and a section table:
+``name -> {dtype, shape, offset, nbytes, crc}`` with a CRC-32 per
+section.  Every field that shapes the artifact is inside the header,
+and the header is covered by its own CRC, so any tampering anywhere is
+detectable before a single seed is produced.
+
+Builds are **deterministic**: the same reference and parameters always
+produce the same bytes (no timestamps, no hostnames), so the
+fingerprint is content-addressed — a rebuilt-but-identical artifact
+resumes a journaled run, a drifted one is refused.
+
+Writes are atomic (tmp + fsync + rename + directory fsync, the
+journal's discipline) so a crash mid-build leaves either the previous
+artifact or none, never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.durability.journal import atomic_write_bytes, payload_crc
+from repro.index.errors import (
+    IndexCorruptError,
+    IndexMissingError,
+    IndexVersionError,
+)
+
+MAGIC = b"REPROIDX"
+"""The artifact's 8-byte magic prefix."""
+
+SCHEMA_VERSION = 1
+"""Bumped whenever the envelope or section set changes shape."""
+
+ALIGNMENT = 64
+"""Section payloads start on 64-byte boundaries (mmap/SIMD friendly)."""
+
+_FIXED = struct.Struct("<8sII")
+"""magic, schema version, header length."""
+
+_CRC = struct.Struct("<I")
+
+SECTION_NAMES = (
+    "reference",
+    "sa",
+    "fm_bwt",
+    "fm_c",
+    "fm_occ",
+    "fm_sample_rows",
+    "fm_sample_pos",
+    "kmer_keys",
+    "kmer_positions",
+)
+"""Canonical section order of a schema-1 artifact."""
+
+
+def reference_crc(reference: np.ndarray) -> int:
+    """CRC-32 of the encoded reference payload bytes.
+
+    The drift check's anchor: an artifact only serves runs whose
+    in-memory reference has exactly this checksum.
+    """
+    data = np.ascontiguousarray(
+        np.asarray(reference, dtype=np.uint8)
+    ).tobytes()
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class SectionMeta:
+    """One section table entry: where a block lives and its checksum."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+    nbytes: int
+    crc: int
+
+    def to_json(self) -> dict:
+        """The section's header-JSON representation."""
+        return {
+            "dtype": self.dtype,
+            "shape": list(self.shape),
+            "offset": self.offset,
+            "nbytes": self.nbytes,
+            "crc": self.crc,
+        }
+
+    @classmethod
+    def from_json(cls, name: str, payload: dict) -> "SectionMeta":
+        """Parse one section table entry back out of the header."""
+        return cls(
+            name=name,
+            dtype=str(payload["dtype"]),
+            shape=tuple(int(d) for d in payload["shape"]),
+            offset=int(payload["offset"]),
+            nbytes=int(payload["nbytes"]),
+            crc=int(payload["crc"]),
+        )
+
+
+@dataclass(frozen=True)
+class IndexHeader:
+    """The parsed artifact header: identity, params, section table."""
+
+    schema_version: int
+    reference_crc: int
+    reference_length: int
+    params: dict
+    fingerprint: str
+    sections: dict[str, SectionMeta]
+
+    @property
+    def k(self) -> int:
+        """The k-mer size the artifact was built with."""
+        return int(self.params["k"])
+
+    @property
+    def sa_sample_rate(self) -> int:
+        """The FM-index sampled-SA rate the artifact was built with."""
+        return int(self.params["sa_sample_rate"])
+
+
+def build_fingerprint(
+    ref_crc: int, ref_length: int, params: dict
+) -> str:
+    """Content fingerprint of an artifact: 8-hex, deterministic.
+
+    CRC-32 (:func:`~repro.durability.journal.payload_crc`) over the
+    canonical JSON of reference identity + build params + schema.  The
+    durability manifest pins this string so ``--resume`` refuses a
+    drifted index, and ``@PG``/STATUS report it so every output names
+    the index that produced it.
+    """
+    crc = payload_crc(
+        {
+            "schema": SCHEMA_VERSION,
+            "reference_crc": int(ref_crc),
+            "reference_length": int(ref_length),
+            "params": params,
+        }
+    )
+    return f"{crc:08x}"
+
+
+def _pad_to(offset: int, alignment: int = ALIGNMENT) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+def encode_artifact(
+    sections: dict[str, np.ndarray],
+    ref_crc: int,
+    ref_length: int,
+    params: dict,
+) -> bytes:
+    """Render header + aligned sections into the artifact byte string.
+
+    ``sections`` must cover exactly :data:`SECTION_NAMES`; arrays are
+    written in that canonical order so identical inputs yield
+    identical bytes.
+    """
+    missing = set(SECTION_NAMES) - set(sections)
+    extra = set(sections) - set(SECTION_NAMES)
+    if missing or extra:
+        raise ValueError(
+            f"section set mismatch (missing {sorted(missing)}, "
+            f"extra {sorted(extra)})"
+        )
+    blocks: list[tuple[str, np.ndarray, bytes]] = []
+    for name in SECTION_NAMES:
+        arr = np.ascontiguousarray(sections[name])
+        blocks.append((name, arr, arr.tobytes()))
+
+    # The header length depends on the offsets, which depend on the
+    # header length; offsets are stable after one fixpoint pass
+    # because the JSON is rendered with fixed-width values only after
+    # the layout converges.
+    table: dict[str, SectionMeta] = {}
+    header_json = b""
+    for _ in range(8):
+        offset = _pad_to(_FIXED.size + len(header_json) + _CRC.size)
+        new_table = {}
+        for name, arr, raw in blocks:
+            new_table[name] = SectionMeta(
+                name=name,
+                dtype=str(arr.dtype),
+                shape=tuple(int(d) for d in arr.shape),
+                offset=offset,
+                nbytes=len(raw),
+                crc=zlib.crc32(raw) & 0xFFFFFFFF,
+            )
+            offset = _pad_to(offset + len(raw))
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "reference_crc": int(ref_crc),
+            "reference_length": int(ref_length),
+            "params": params,
+            "fingerprint": build_fingerprint(
+                ref_crc, ref_length, params
+            ),
+            "sections": {
+                name: meta.to_json() for name, meta in new_table.items()
+            },
+        }
+        new_json = json.dumps(payload, sort_keys=True).encode()
+        if len(new_json) == len(header_json):
+            table = new_table
+            header_json = new_json
+            break
+        header_json = new_json
+        table = new_table
+    else:  # pragma: no cover — layout always converges in 2 passes
+        raise RuntimeError("artifact header layout did not converge")
+
+    out = bytearray()
+    out += _FIXED.pack(MAGIC, SCHEMA_VERSION, len(header_json))
+    out += header_json
+    out += _CRC.pack(zlib.crc32(header_json) & 0xFFFFFFFF)
+    for name, _, raw in blocks:
+        meta = table[name]
+        out += b"\0" * (meta.offset - len(out))
+        out += raw
+    return bytes(out)
+
+
+def write_artifact(
+    path: str | Path,
+    sections: dict[str, np.ndarray],
+    ref_crc: int,
+    ref_length: int,
+    params: dict,
+) -> IndexHeader:
+    """Encode and atomically persist one artifact; returns its header."""
+    data = encode_artifact(sections, ref_crc, ref_length, params)
+    atomic_write_bytes(Path(path), data)
+    return read_header(path)
+
+
+def read_header(path: str | Path) -> IndexHeader:
+    """Parse and CRC-verify an artifact's envelope (header only).
+
+    The cheap first rungs of the load ladder: magic and schema
+    (:class:`IndexVersionError`), envelope integrity and a section
+    table consistent with the actual file size
+    (:class:`IndexCorruptError`).  Section payloads are *not* read —
+    :func:`verify_sections` does that.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+        with open(path, "rb") as handle:
+            fixed = handle.read(_FIXED.size)
+            if len(fixed) < _FIXED.size:
+                raise IndexCorruptError(
+                    f"{path}: truncated before the fixed header "
+                    f"({len(fixed)} bytes)",
+                    section="header",
+                    offset=0,
+                )
+            magic, schema, header_len = _FIXED.unpack(fixed)
+            if magic != MAGIC:
+                raise IndexVersionError(
+                    f"{path} is not a repro index artifact "
+                    f"(magic {magic!r}, expected {MAGIC!r})",
+                    found=magic,
+                    expected=MAGIC,
+                )
+            if schema != SCHEMA_VERSION:
+                raise IndexVersionError(
+                    f"{path} has schema version {schema}, this build "
+                    f"reads {SCHEMA_VERSION}; rebuild it with "
+                    "`repro index build`",
+                    found=schema,
+                    expected=SCHEMA_VERSION,
+                )
+            header_json = handle.read(header_len)
+            crc_raw = handle.read(_CRC.size)
+    except FileNotFoundError as exc:
+        raise IndexMissingError(
+            f"index artifact {path} does not exist", path=str(path)
+        ) from exc
+    if len(header_json) < header_len or len(crc_raw) < _CRC.size:
+        raise IndexCorruptError(
+            f"{path}: truncated inside the header "
+            f"(need {header_len} header bytes)",
+            section="header",
+            offset=_FIXED.size,
+        )
+    (crc,) = _CRC.unpack(crc_raw)
+    if (zlib.crc32(header_json) & 0xFFFFFFFF) != crc:
+        raise IndexCorruptError(
+            f"{path}: header failed its CRC check",
+            section="header",
+            offset=_FIXED.size,
+        )
+    try:
+        payload = json.loads(header_json)
+        sections = {
+            name: SectionMeta.from_json(name, meta)
+            for name, meta in payload["sections"].items()
+        }
+        header = IndexHeader(
+            schema_version=int(payload["schema"]),
+            reference_crc=int(payload["reference_crc"]),
+            reference_length=int(payload["reference_length"]),
+            params=dict(payload["params"]),
+            fingerprint=str(payload["fingerprint"]),
+            sections=sections,
+        )
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise IndexCorruptError(
+            f"{path}: header JSON is malformed despite a valid CRC "
+            f"({exc})",
+            section="header",
+            offset=_FIXED.size,
+        ) from exc
+    if set(header.sections) != set(SECTION_NAMES):
+        raise IndexCorruptError(
+            f"{path}: section table names do not match schema "
+            f"{SCHEMA_VERSION}",
+            section="header",
+            offset=_FIXED.size,
+        )
+    expected_fp = build_fingerprint(
+        header.reference_crc, header.reference_length, header.params
+    )
+    if header.fingerprint != expected_fp:
+        raise IndexCorruptError(
+            f"{path}: recorded fingerprint {header.fingerprint} does "
+            f"not match its own header fields ({expected_fp})",
+            section="header",
+            offset=_FIXED.size,
+        )
+    for meta in header.sections.values():
+        if meta.offset + meta.nbytes > size:
+            raise IndexCorruptError(
+                f"{path}: section {meta.name!r} extends to byte "
+                f"{meta.offset + meta.nbytes} but the file holds only "
+                f"{size}",
+                section=meta.name,
+                offset=meta.offset,
+            )
+    return header
+
+
+def open_section(
+    path: str | Path, meta: SectionMeta, mmap: bool = True
+) -> np.ndarray:
+    """Map (or read) one section as an ndarray of its recorded shape.
+
+    ``mmap=True`` returns a read-only ``numpy.memmap`` view — the
+    zero-copy path shard workers and the serve process use, sharing
+    the OS page cache under both fork and spawn.  ``mmap=False``
+    materializes a private in-memory copy (the differential suites pin
+    both modes to identical SAM bytes).
+    """
+    dtype = np.dtype(meta.dtype)
+    count = meta.nbytes // dtype.itemsize
+    if mmap:
+        flat = np.memmap(
+            Path(path),
+            dtype=dtype,
+            mode="r",
+            offset=meta.offset,
+            shape=(count,),
+        )
+    else:
+        with open(path, "rb") as handle:
+            handle.seek(meta.offset)
+            raw = handle.read(meta.nbytes)
+        if len(raw) < meta.nbytes:
+            raise IndexCorruptError(
+                f"{path}: section {meta.name!r} truncated "
+                f"({len(raw)}/{meta.nbytes} bytes)",
+                section=meta.name,
+                offset=meta.offset,
+            )
+        flat = np.frombuffer(raw, dtype=dtype)
+    return flat.reshape(meta.shape)
+
+
+def verify_section(path: str | Path, meta: SectionMeta) -> None:
+    """CRC one section's on-disk bytes against its table entry."""
+    with open(path, "rb") as handle:
+        handle.seek(meta.offset)
+        crc = 0
+        remaining = meta.nbytes
+        while remaining:
+            chunk = handle.read(min(1 << 20, remaining))
+            if not chunk:
+                raise IndexCorruptError(
+                    f"{path}: section {meta.name!r} truncated at byte "
+                    f"{meta.nbytes - remaining} of {meta.nbytes}",
+                    section=meta.name,
+                    offset=meta.offset,
+                )
+            crc = zlib.crc32(chunk, crc)
+            remaining -= len(chunk)
+    if (crc & 0xFFFFFFFF) != meta.crc:
+        raise IndexCorruptError(
+            f"{path}: section {meta.name!r} failed its CRC check "
+            f"(stored {meta.crc:#010x}, computed {crc & 0xFFFFFFFF:#010x})",
+            section=meta.name,
+            offset=meta.offset,
+        )
+
+
+def verify_sections(path: str | Path, header: IndexHeader) -> None:
+    """CRC every section in canonical order; first failure raises."""
+    for name in SECTION_NAMES:
+        verify_section(path, header.sections[name])

@@ -1,0 +1,286 @@
+"""Loading side of the persistent index store: the load ladder.
+
+:func:`load_index` is the only way seeds ever come out of an artifact,
+and it climbs a strict ladder before handing a single table to the
+aligner:
+
+1. envelope — magic and schema (:class:`IndexVersionError` on
+   mismatch), header CRC and a section table consistent with the file
+   size (:class:`IndexCorruptError`);
+2. content — per-section CRC-32 over the on-disk bytes
+   (``verify=True``, the default for cold opens);
+3. identity — optional fingerprint pin
+   (:class:`IndexDriftError` if the artifact on disk is not the one
+   the caller was promised);
+4. mapping — sections open as read-only ``numpy.memmap`` views
+   (``mmap=True``) so every process that opens the same artifact —
+   fork or spawn, shard worker or server — shares one set of OS page
+   cache pages; ``mmap=False`` materializes private copies instead.
+
+There is no rung below "typed failure": a refused artifact never
+degrades into approximate seeds.  The ``--rebuild-index`` fallback
+lives above this module (in the CLI), which catches the typed error,
+rebuilds, and retries — exactly once.
+
+:class:`IndexHandle` is the picklable capability a parent process
+ships to spawn workers: path + pinned fingerprint + schema version.
+``handle.open()`` re-runs the ladder in the worker, so an artifact
+that vanished or was swapped between dispatch and open surfaces as
+:class:`IndexMissingError` / :class:`IndexDriftError` there, never as
+silently different seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.index import format as fmt
+from repro.index.errors import (
+    IndexArtifactError,
+    IndexDriftError,
+)
+from repro.obs import names
+from repro.seeding.fmindex import FMIndex
+from repro.seeding.kmer_index import KmerIndex
+
+
+@dataclass(frozen=True)
+class IndexHandle:
+    """A picklable capability for one specific index artifact.
+
+    Carries everything a worker needs to re-open the artifact *and
+    prove it is the same one the parent validated*: the path, the
+    pinned content fingerprint, and the schema version.  Crossing a
+    process boundary (fork or spawn) costs three small fields — the
+    tables themselves travel via the page cache, not the pickle.
+    """
+
+    path: str
+    fingerprint: str
+    schema_version: int
+
+    def open(
+        self, *, mmap: bool = True, verify: bool = False
+    ) -> "LoadedIndex":
+        """Re-open the artifact, enforcing the pinned fingerprint.
+
+        Workers default to ``verify=False``: the parent already CRC'd
+        the sections at dispatch time, and the fingerprint pin catches
+        a swapped artifact, so workers skip the redundant full read
+        and map straight onto the already-warm pages.
+        """
+        return load_index(
+            self.path,
+            mmap=mmap,
+            verify=verify,
+            expected_fingerprint=self.fingerprint,
+        )
+
+
+class LoadedIndex:
+    """One verified, opened artifact: tables plus identity checks.
+
+    Seeding structures are materialized lazily
+    (:meth:`fm_index` / :meth:`kmer_index`) from the mapped sections,
+    so a SMEM-only run never touches the k-mer pages and vice versa.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        header: fmt.IndexHeader,
+        arrays: dict[str, np.ndarray],
+        mmap: bool,
+    ) -> None:
+        self.path = path
+        self.header = header
+        self._arrays = arrays
+        self._mmap = mmap
+        self._fm: FMIndex | None = None
+        self._kmer: KmerIndex | None = None
+
+    @property
+    def fingerprint(self) -> str:
+        """The artifact's content fingerprint (8 hex chars)."""
+        return self.header.fingerprint
+
+    @property
+    def reference(self) -> np.ndarray:
+        """The encoded reference payload stored in the artifact."""
+        return self._arrays["reference"]
+
+    @property
+    def suffix_array(self) -> np.ndarray:
+        """The full suffix array section."""
+        return self._arrays["sa"]
+
+    def handle(self) -> IndexHandle:
+        """The picklable capability for re-opening this artifact."""
+        return IndexHandle(
+            path=str(self.path),
+            fingerprint=self.header.fingerprint,
+            schema_version=self.header.schema_version,
+        )
+
+    def meta(self) -> dict:
+        """Identity summary for STATUS payloads and ``index info``."""
+        return {
+            "path": str(self.path),
+            "fingerprint": self.header.fingerprint,
+            "schema_version": self.header.schema_version,
+            "reference_length": self.header.reference_length,
+            "reference_crc": f"{self.header.reference_crc:08x}",
+            "k": self.header.k,
+            "sa_sample_rate": self.header.sa_sample_rate,
+            "mode": "mmap" if self._mmap else "memory",
+        }
+
+    def fm_index(self) -> FMIndex:
+        """The FM-index, backed directly by the mapped sections."""
+        if self._fm is None:
+            self._fm = FMIndex.from_tables(
+                n=self.header.reference_length,
+                sample_rate=self.header.sa_sample_rate,
+                sentinel_row=int(self.header.params["fm_sentinel_row"]),
+                bwt=self._arrays["fm_bwt"],
+                c=self._arrays["fm_c"],
+                occ=self._arrays["fm_occ"],
+                sample_rows=self._arrays["fm_sample_rows"],
+                sample_pos=self._arrays["fm_sample_pos"],
+            )
+        return self._fm
+
+    def kmer_index(self) -> KmerIndex:
+        """The k-mer index, backed directly by the mapped sections."""
+        if self._kmer is None:
+            self._kmer = KmerIndex.from_tables(
+                reference=self._arrays["reference"],
+                k=self.header.k,
+                sorted_keys=self._arrays["kmer_keys"],
+                positions=self._arrays["kmer_positions"],
+            )
+        return self._kmer
+
+    def check_reference(self, reference: np.ndarray) -> None:
+        """Refuse to serve a run over a different reference.
+
+        Cheap length gate first, then the payload CRC — the same
+        checksum recorded at build time, so any reference edit
+        (even one base) is an :class:`IndexDriftError`.
+        """
+        found_len = int(len(reference))
+        if found_len != self.header.reference_length:
+            raise IndexDriftError(
+                f"{self.path}: artifact indexes a reference of "
+                f"{self.header.reference_length} bases, this run "
+                f"aligns against {found_len}",
+                field="reference_length",
+                found=found_len,
+                expected=self.header.reference_length,
+            )
+        crc = fmt.reference_crc(reference)
+        if crc != self.header.reference_crc:
+            raise IndexDriftError(
+                f"{self.path}: artifact was built from a different "
+                f"reference payload (CRC {self.header.reference_crc:08x}"
+                f", this run's is {crc:08x}); rebuild with "
+                "`repro index build`",
+                field="reference_crc",
+                found=f"{crc:08x}",
+                expected=f"{self.header.reference_crc:08x}",
+            )
+
+    def check_kmer_size(self, k: int) -> None:
+        """Refuse k-mer seeding at a k the artifact was not built for."""
+        if int(k) != self.header.k:
+            raise IndexDriftError(
+                f"{self.path}: artifact k-mer tables use k="
+                f"{self.header.k}, this run requested k={int(k)}; "
+                "rebuild with `repro index build --min-seed-length "
+                f"{int(k)}`",
+                field="k",
+                found=int(k),
+                expected=self.header.k,
+            )
+
+
+def verify_artifact(path: str | Path) -> fmt.IndexHeader:
+    """Climb the full ladder without opening tables; returns header.
+
+    The ``repro index verify`` entry point: envelope checks plus a
+    CRC pass over every section, raising the same typed errors
+    :func:`load_index` would.
+    """
+    path = Path(path)
+    with obs.span(names.SPAN_INDEX_VERIFY):
+        try:
+            header = fmt.read_header(path)
+            fmt.verify_sections(path, header)
+        except IndexArtifactError as exc:
+            _count_failure(exc)
+            raise
+    return header
+
+
+def load_index(
+    path: str | Path,
+    *,
+    mmap: bool = True,
+    verify: bool = True,
+    expected_fingerprint: str | None = None,
+) -> LoadedIndex:
+    """Open one artifact through the load ladder (see module doc)."""
+    path = Path(path)
+    with obs.span(names.SPAN_INDEX_LOAD):
+        try:
+            header = fmt.read_header(path)
+            if (
+                expected_fingerprint is not None
+                and header.fingerprint != expected_fingerprint
+            ):
+                raise IndexDriftError(
+                    f"{path}: artifact fingerprint "
+                    f"{header.fingerprint} does not match the pinned "
+                    f"{expected_fingerprint} (the file changed after "
+                    "it was validated)",
+                    field="fingerprint",
+                    found=header.fingerprint,
+                    expected=expected_fingerprint,
+                )
+            if verify:
+                with obs.span(names.SPAN_INDEX_VERIFY):
+                    fmt.verify_sections(path, header)
+            arrays = {
+                name: fmt.open_section(
+                    path, header.sections[name], mmap=mmap
+                )
+                for name in fmt.SECTION_NAMES
+            }
+        except IndexArtifactError as exc:
+            _count_failure(exc)
+            raise
+    if obs.enabled():
+        reg = obs.get_registry()
+        reg.counter(
+            names.INDEX_LOADS,
+            "index artifacts opened",
+            mode="mmap" if mmap else "memory",
+        ).inc()
+        reg.gauge(
+            names.INDEX_ARTIFACT_BYTES, "artifact size"
+        ).set(float(path.stat().st_size))
+    return LoadedIndex(path, header, arrays, mmap)
+
+
+def _count_failure(exc: IndexArtifactError) -> None:
+    """Record one load-ladder refusal under its error kind."""
+    if obs.enabled():
+        obs.get_registry().counter(
+            names.INDEX_VERIFY_FAILURES,
+            "load-ladder refusals",
+            kind=type(exc).__name__,
+        ).inc()

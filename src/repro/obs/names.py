@@ -65,6 +65,15 @@ SPAN_PIPELINE_WINDOW = "pipeline.batch.window"
 SPAN_PIPELINE_WAVE = "pipeline.batch.wave"
 """One lockstep extension wave (labels: ``side``, ``jobs``)."""
 
+SPAN_INDEX_BUILD = "index.build"
+"""Building one persistent index artifact (SA + FM + k-mer + write)."""
+
+SPAN_INDEX_LOAD = "index.load"
+"""Opening one index artifact through the load ladder."""
+
+SPAN_INDEX_VERIFY = "index.verify"
+"""CRC-verifying every section of one index artifact."""
+
 # -- counters -----------------------------------------------------------
 
 EXTENSIONS_TOTAL = "seedex.extensions.total"
@@ -220,6 +229,15 @@ SERVE_CLIENT_DISCONNECTS = "serve.client.disconnects"
 SERVE_WAL_RECORDS = "serve.wal.records"
 """Write-ahead log records appended (labels: ``op``)."""
 
+INDEX_LOADS = "index.loads.total"
+"""Index artifacts opened successfully (labels: ``mode``)."""
+
+INDEX_REBUILDS = "index.rebuilds.total"
+"""Artifacts rebuilt after a load refusal (``--rebuild-index``)."""
+
+INDEX_VERIFY_FAILURES = "index.verify.failures"
+"""Load-ladder refusals by error kind (labels: ``kind``)."""
+
 # -- histograms ---------------------------------------------------------
 
 CELLS_PER_EXTENSION = "seedex.cells.per_extension"
@@ -288,6 +306,9 @@ SERVE_QUEUE_DEPTH = "serve.queue.depth"
 
 SERVE_CLIENTS_ACTIVE = "serve.clients.active"
 """Client connections currently open."""
+
+INDEX_ARTIFACT_BYTES = "index.artifact.bytes"
+"""On-disk size of the most recently built or loaded artifact."""
 
 
 def all_names() -> dict[str, str]:

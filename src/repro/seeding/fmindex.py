@@ -48,7 +48,10 @@ class FMIndex:
     """FM-index over an encoded, N-free reference."""
 
     def __init__(
-        self, text: np.ndarray, sa_sample_rate: int = 8
+        self,
+        text: np.ndarray,
+        sa_sample_rate: int = 8,
+        sa: np.ndarray | None = None,
     ) -> None:
         text = np.asarray(text, dtype=np.uint8)
         if text.size == 0:
@@ -60,8 +63,11 @@ class FMIndex:
         self.n = len(text)
         self._sample_rate = sa_sample_rate
 
-        # Full SA (kept only long enough to build BWT + samples).
-        sa = build_suffix_array(text)
+        # Full SA (kept only long enough to build BWT + samples); the
+        # index artifact builder passes its own copy in so the array is
+        # computed once and also serialized.
+        if sa is None:
+            sa = build_suffix_array(text)
         # Conceptual rotation order: sentinel suffix first, then sa.
         # BWT[r] = text[sa_full[r] - 1]; sentinel occupies row 0.
         sa_full = np.concatenate([[self.n], sa])
@@ -87,11 +93,62 @@ class FMIndex:
         np.cumsum(onehot, axis=0, out=occ[1:])
         self._occ = occ
 
-        # Sampled SA for locate().
-        self._sa_sample = {}
-        for r, pos in enumerate(sa_full):
-            if pos % sa_sample_rate == 0:
-                self._sa_sample[r] = int(pos)
+        # Sampled SA for locate(): parallel sorted (row -> position)
+        # arrays rather than a dict, so the tables serialize into the
+        # persistent index artifact and load back zero-copy.
+        rows_sampled = np.flatnonzero(sa_full % sa_sample_rate == 0)
+        self._sample_rows = rows_sampled.astype(np.int64)
+        self._sample_pos = sa_full[rows_sampled].astype(np.int64)
+
+    @classmethod
+    def from_tables(
+        cls,
+        *,
+        n: int,
+        sample_rate: int,
+        sentinel_row: int,
+        bwt: np.ndarray,
+        c: np.ndarray,
+        occ: np.ndarray,
+        sample_rows: np.ndarray,
+        sample_pos: np.ndarray,
+    ) -> "FMIndex":
+        """Adopt prebuilt tables without recomputing anything.
+
+        The persistent index store (:mod:`repro.index`) loads the
+        tables as ``numpy.memmap`` views; every query operation reads
+        them in place, so a loaded index never copies the artifact's
+        pages.  Callers are responsible for table consistency — the
+        store verifies per-section CRCs before handing tables over.
+        """
+        self = cls.__new__(cls)
+        self.n = int(n)
+        self._sample_rate = int(sample_rate)
+        self._sentinel_row = int(sentinel_row)
+        self._bwt = bwt
+        self._c = c
+        self._occ = occ
+        self._sample_rows = sample_rows
+        self._sample_pos = sample_pos
+        return self
+
+    def tables(self) -> dict[str, np.ndarray]:
+        """The index's array-valued tables, keyed for serialization."""
+        return {
+            "bwt": self._bwt,
+            "c": self._c,
+            "occ": self._occ,
+            "sample_rows": self._sample_rows,
+            "sample_pos": self._sample_pos,
+        }
+
+    def scalars(self) -> dict[str, int]:
+        """The index's scalar parameters, keyed for serialization."""
+        return {
+            "n": self.n,
+            "sample_rate": self._sample_rate,
+            "sentinel_row": self._sentinel_row,
+        }
 
     def whole(self) -> Interval:
         """The interval of the empty pattern (all rotations)."""
@@ -128,6 +185,15 @@ class FMIndex:
         c = int(self._bwt[row])
         return int(self._c[c] + self._occ_at(row, c))
 
+    def _sampled_pos(self, row: int) -> int | None:
+        """Sampled SA position of ``row``, or ``None`` if unsampled."""
+        idx = int(np.searchsorted(self._sample_rows, row))
+        if idx < len(self._sample_rows) and int(
+            self._sample_rows[idx]
+        ) == row:
+            return int(self._sample_pos[idx])
+        return None
+
     def locate(self, interval: Interval, limit: int | None = None) -> list[int]:
         """Reference positions of an interval's occurrences (sorted)."""
         out = []
@@ -136,10 +202,12 @@ class FMIndex:
                 break
             r = row
             steps = 0
-            while r not in self._sa_sample:
+            sampled = self._sampled_pos(r)
+            while sampled is None:
                 r = self._lf(r)
                 steps += 1
-            pos = self._sa_sample[r] + steps
+                sampled = self._sampled_pos(r)
+            pos = sampled + steps
             if pos < self.n:  # skip the sentinel pseudo-position
                 out.append(pos)
         return sorted(out)

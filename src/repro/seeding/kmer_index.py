@@ -33,6 +33,34 @@ class KmerIndex:
         self._sorted_keys = keys[order]
         self._positions = order.astype(np.int64)
 
+    @classmethod
+    def from_tables(
+        cls,
+        reference: np.ndarray,
+        k: int,
+        sorted_keys: np.ndarray,
+        positions: np.ndarray,
+    ) -> "KmerIndex":
+        """Adopt prebuilt sorted-key/position tables without repacking.
+
+        The persistent index store (:mod:`repro.index`) hands the
+        tables over as ``numpy.memmap`` views after CRC verification;
+        lookups binary-search them in place, zero-copy.
+        """
+        self = cls.__new__(cls)
+        self.k = int(k)
+        self.reference = reference
+        self._sorted_keys = sorted_keys
+        self._positions = positions
+        return self
+
+    def tables(self) -> dict[str, np.ndarray]:
+        """The index's array-valued tables, keyed for serialization."""
+        return {
+            "sorted_keys": self._sorted_keys,
+            "positions": self._positions,
+        }
+
     def lookup(self, kmer: np.ndarray) -> np.ndarray:
         """Reference start positions of an exact k-mer (sorted)."""
         kmer = np.asarray(kmer, dtype=np.int64)

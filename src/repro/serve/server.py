@@ -531,9 +531,16 @@ class AlignmentServer:
     # -- health ---------------------------------------------------------
 
     def status(self) -> dict:
-        """The ``STATUS`` payload: state, queue, breaker, counters."""
+        """The ``STATUS`` payload: state, queue, breaker, counters.
+
+        ``index`` names the persistent index artifact the aligner
+        seeds from (fingerprint, schema, mode), or ``None`` when the
+        seeding structures were built in-process — so operators can
+        confirm *which* index a resident server is answering with.
+        """
         return {
             "protocol": PROTOCOL_VERSION,
+            "index": getattr(self.aligner, "index_meta", None),
             "state": "draining" if self.queue.closed else "serving",
             "uptime_s": round(self.clock() - self._started_at, 3),
             "queue_depth": self.queue.depth(),

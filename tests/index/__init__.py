@@ -1,0 +1,1 @@
+"""Persistent index store tests: format, corruption chaos, identity."""
