@@ -1,0 +1,363 @@
+"""Lockstep banded global fills for batched inter-seed gaps.
+
+The long-read pipeline's scalar path fills each inter-seed gap with
+one :class:`~repro.core.globalcheck.GlobalSeedEx` call — a narrow
+banded global alignment, a sound optimality check, and a full-band
+rerun when the check fails.  This module is the batched rendition:
+whole *waves* of gap jobs, collected across chains and reads, sweep
+together in an inter-sequence lockstep fill (jobs × band columns),
+shape-bucketed the way the striped extension kernel buckets its
+batches.
+
+The optimality check here is the band-edge bound the overlap kernel
+uses (:mod:`repro.align.overlapdp`), specialized to global mode: a
+band-leaving path first exits through a band-edge diagonal cell
+``(i, j)`` carrying at most the banded value there, and its remaining
+climb to the corner gains at most ``min(tlen - i, qlen - j) * match``
+(the corner needs both sequences fully consumed).  The bound is
+admissible, so a passing check proves the banded corner score *is*
+the full-band score; failing jobs escalate through a geometric band
+ladder (:func:`fill_gaps_guaranteed`) and finish, at the latest, at
+full band.  Every returned score therefore equals
+:func:`repro.align.globalband.global_align` at full band —
+bit-identical to what the scalar path's checked fills return, which
+is what keeps the batched long-read SAM byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.fullmatrix import NEG_INF
+from repro.align.overlapdp import _DEAD, _shape_class
+from repro.align.scoring import AffineGap
+from repro.genome.sequence import AMBIGUOUS_CODE
+
+ESCALATION_FACTOR = 4
+"""Band multiplier between rungs of the escalation ladder."""
+
+
+@dataclass(frozen=True)
+class GlobalFillResult:
+    """One banded global fill and its band-edge check inputs."""
+
+    score: int
+    band: int
+    qlen: int
+    tlen: int
+    bound: int
+    cells_computed: int
+
+    @property
+    def is_full_band(self) -> bool:
+        """True when the band covered every cell of the matrix."""
+        return self.band >= max(self.qlen, self.tlen)
+
+    @property
+    def optimal(self) -> bool:
+        """True when the banded corner is provably the dense optimum."""
+        if self.is_full_band:
+            return True
+        return self.score > _DEAD and self.score >= self.bound
+
+
+@dataclass(frozen=True)
+class GapFillOutcome:
+    """A guaranteed-optimal gap fill: final result plus its ladder."""
+
+    result: GlobalFillResult
+    band_requested: int
+    escalations: int
+
+    @property
+    def rerun(self) -> bool:
+        """True when the first speculation's check failed."""
+        return self.escalations > 0
+
+
+def _clamp_band(qlen: int, tlen: int, w: int | None) -> int:
+    """The effective band: wide enough to hold the global corner."""
+    if w is None:
+        return max(qlen, tlen)
+    if w < 0:
+        raise ValueError("band must be non-negative")
+    return max(w, abs(tlen - qlen))
+
+
+def fill_global_scalar(
+    query: np.ndarray,
+    target: np.ndarray,
+    scoring: AffineGap,
+    w: int | None = None,
+) -> GlobalFillResult:
+    """Reference per-cell banded global fill with edge-bound capture.
+
+    The band is clamped to ``max(w, |tlen - qlen|)`` so the corner is
+    always reachable (the same clamp ``GlobalSeedEx`` applies).
+    """
+    query = np.asarray(query, dtype=np.int64)
+    target = np.asarray(target, dtype=np.int64)
+    qlen, tlen = len(query), len(target)
+    w = _clamp_band(qlen, tlen, w)
+    go = scoring.gap_open
+    ge_i = scoring.gap_extend_ins
+    ge_d = scoring.gap_extend_del
+    m = scoring.match
+
+    H = np.full((tlen + 1, qlen + 1), NEG_INF, dtype=np.int64)
+    E = np.full((tlen + 1, qlen + 1), NEG_INF, dtype=np.int64)
+    F = np.full((tlen + 1, qlen + 1), NEG_INF, dtype=np.int64)
+    H[0][0] = 0
+    cells = 1
+    for j in range(1, min(qlen, w) + 1):
+        F[0][j] = H[0][j] = -(go + j * ge_i)
+        cells += 1
+    for i in range(1, min(tlen, w) + 1):
+        E[i][0] = H[i][0] = -(go + i * ge_d)
+        cells += 1
+    for i in range(1, tlen + 1):
+        for j in range(max(1, i - w), min(qlen, i + w) + 1):
+            E[i][j] = max(H[i - 1][j] - go, E[i - 1][j]) - ge_d
+            F[i][j] = max(H[i][j - 1] - go, F[i][j - 1]) - ge_i
+            diag = H[i - 1][j - 1] + scoring.substitution(
+                int(target[i - 1]), int(query[j - 1])
+            )
+            H[i][j] = max(diag, E[i][j], F[i][j])
+            cells += 1
+
+    score = int(H[tlen][qlen])
+    bound = NEG_INF
+    if w < max(qlen, tlen):
+        for i in range(tlen + 1):
+            for j in (i - w, i + w):
+                if 0 <= j <= qlen and H[i][j] > _DEAD:
+                    cand = int(H[i][j]) + min(tlen - i, qlen - j) * m
+                    if cand > bound:
+                        bound = cand
+    return GlobalFillResult(
+        score=score, band=w, qlen=qlen, tlen=tlen, bound=bound,
+        cells_computed=cells,
+    )
+
+
+def fill_global_batch(
+    queries: list[np.ndarray],
+    targets: list[np.ndarray],
+    scoring: AffineGap,
+    w: int | None = None,
+) -> list[GlobalFillResult]:
+    """Fill many global gap jobs in inter-sequence lockstep.
+
+    Jobs are bucketed by ``(shape_class(qlen), shape_class(tlen))``;
+    each bucket sweeps every job together.  Per-job results are
+    bit-identical to :func:`fill_global_scalar` on
+    ``(score, band, bound, optimal)``; ``cells_computed`` reflects the
+    bucket's padded schedule.
+    """
+    if len(queries) != len(targets):
+        raise ValueError("queries and targets must align")
+    out: list[GlobalFillResult | None] = [None] * len(queries)
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for k, (q, t) in enumerate(zip(queries, targets)):
+        key = (_shape_class(len(q)), _shape_class(len(t)))
+        buckets.setdefault(key, []).append(k)
+    for idx in buckets.values():
+        for k, res in zip(
+            idx,
+            _lockstep_bucket(
+                [queries[k] for k in idx],
+                [targets[k] for k in idx],
+                scoring,
+                w,
+            ),
+        ):
+            out[k] = res
+    return [r for r in out if r is not None]
+
+
+def _lockstep_bucket(
+    queries: list[np.ndarray],
+    targets: list[np.ndarray],
+    scoring: AffineGap,
+    w: int | None,
+) -> list[GlobalFillResult]:
+    """One bucket's lockstep global sweep over a shared padded shape."""
+    n = len(queries)
+    qlens = np.array([len(q) for q in queries], dtype=np.int64)
+    tlens = np.array([len(t) for t in targets], dtype=np.int64)
+    qmax = int(qlens.max())
+    tmax = int(tlens.max())
+    bands = np.array(
+        [_clamp_band(int(ql), int(tl), w) for ql, tl in zip(qlens, tlens)],
+        dtype=np.int64,
+    )
+    ws = int(bands.max())
+    go = scoring.gap_open
+    ge_i = scoring.gap_extend_ins
+    ge_d = scoring.gap_extend_del
+    m = scoring.match
+    x = scoring.mismatch
+
+    qpad = np.full((n, max(1, qmax)), AMBIGUOUS_CODE, dtype=np.int64)
+    tpad = np.full((n, max(1, tmax)), AMBIGUOUS_CODE, dtype=np.int64)
+    for k, (q, t) in enumerate(zip(queries, targets)):
+        qpad[k, : len(q)] = q
+        tpad[k, : len(t)] = t
+
+    cols = np.arange(qmax + 1, dtype=np.int64)
+    h_prev = np.full((n, qmax + 1), NEG_INF, dtype=np.int64)
+    e_prev = np.full((n, qmax + 1), NEG_INF, dtype=np.int64)
+    h_prev[:, 0] = 0
+    row0 = -(go + cols[1:] * ge_i)
+    mask0 = (cols[None, 1:] <= bands[:, None]) & (
+        cols[None, 1:] <= qlens[:, None]
+    )
+    h_prev[:, 1:] = np.where(mask0, row0[None, :], NEG_INF)
+
+    score = np.full(n, NEG_INF, dtype=np.int64)
+    banded = bands < np.maximum(qlens, tlens)
+    jobs = np.arange(n)
+    sel = tlens == 0
+    score[sel] = h_prev[jobs, qlens][sel]
+    bound = np.full(n, NEG_INF, dtype=np.int64)
+    sel = banded & (bands <= qlens)
+    if sel.any():
+        edge = h_prev[jobs, np.minimum(bands, qmax)]
+        cand = edge + np.minimum(tlens, qlens - bands) * m
+        bound[sel] = cand[sel]
+
+    h_row = np.empty_like(h_prev)
+    e_row = np.empty_like(e_prev)
+    for i in range(1, tmax + 1):
+        lo = max(0, i - ws)
+        hi = min(qmax, i + ws)
+        h_row.fill(NEG_INF)
+        e_row.fill(NEG_INF)
+        col0 = (i <= bands) & (i <= tlens)
+        h_row[col0, 0] = -(go + i * ge_d)
+        e_row[col0, 0] = h_row[col0, 0]
+
+        lo2 = max(lo, 1)
+        if lo2 <= hi:
+            seg = slice(lo2, hi + 1)
+            e_row[:, seg] = (
+                np.maximum(h_prev[:, seg] - go, e_prev[:, seg]) - ge_d
+            )
+            tc = tpad[:, i - 1][:, None]
+            qseg = qpad[:, lo2 - 1 : hi]
+            sub = np.where((tc == qseg) & (tc != AMBIGUOUS_CODE), m, -x)
+            diag = h_prev[:, lo2 - 1 : hi] + sub
+            g = np.maximum(diag, e_row[:, seg])
+            # Mask G to each job's *own* band before the F scan: a
+            # wider bucket-mate's sweep computes cells left of this
+            # job's band whose E channel drops in from the previous
+            # row's edge, and an unmasked run-max would chain that
+            # into in-band F — the band-clamp asymmetry the sweep
+            # tests pin down.
+            own = np.abs(cols[None, seg] - i) <= bands[:, None]
+            own &= cols[None, seg] <= qlens[:, None]
+            g = np.where(own, g, NEG_INF)
+            src = np.empty((n, hi - lo2 + 2), dtype=np.int64)
+            src[:, 0] = np.where(
+                (lo2 == 1) & (i <= bands), h_row[:, 0], NEG_INF
+            )
+            src[:, 1:] = g
+            ccols = cols[lo2 - 1 : hi + 1]
+            run = np.maximum.accumulate(
+                src - go + ccols[None, :] * ge_i, axis=1
+            )
+            f = run[:, :-1] - ccols[None, 1:] * ge_i
+            h_row[:, seg] = np.where(
+                own, np.maximum(g, f), NEG_INF
+            )
+            e_row[:, seg] = np.where(own, e_row[:, seg], NEG_INF)
+
+        live = i <= tlens
+        corner = live & (tlens == i)
+        if corner.any():
+            score[corner] = h_row[jobs, np.minimum(qlens, qmax)][corner]
+        for j_edge in (i - bands, i + bands):
+            je = np.clip(j_edge, 0, qmax)
+            sel = (
+                live
+                & banded
+                & (j_edge >= 0)
+                & (j_edge <= qlens)
+                & (h_row[jobs, je] > _DEAD)
+            )
+            cand = h_row[jobs, je] + np.minimum(tlens - i, qlens - je) * m
+            bound[sel] = np.maximum(bound[sel], cand[sel])
+
+        h_prev, h_row = h_row, h_prev
+        e_prev, e_row = e_row, e_prev
+
+    cells = 0
+    for i in range(tmax + 1):
+        lo = max(0, i - ws)
+        hi = min(qmax, i + ws)
+        if lo <= hi:
+            cells += hi - lo + 1
+    return [
+        GlobalFillResult(
+            score=int(score[k]),
+            band=int(bands[k]),
+            qlen=int(qlens[k]),
+            tlen=int(tlens[k]),
+            bound=int(bound[k]),
+            cells_computed=cells,
+        )
+        for k in range(n)
+    ]
+
+
+def fill_gaps_guaranteed(
+    queries: list[np.ndarray],
+    targets: list[np.ndarray],
+    scoring: AffineGap,
+    band: int,
+    escalation: int = ESCALATION_FACTOR,
+) -> list[GapFillOutcome]:
+    """Batched gap fills with adaptive band escalation.
+
+    Every job starts at ``band``; jobs whose band-edge check fails
+    rerun together at ``band * escalation``, then the stragglers at
+    full band (where the check is vacuous).  Returned scores always
+    equal the dense full-band optimum.
+    """
+    if escalation < 2:
+        raise ValueError("escalation factor must be at least 2")
+    n = len(queries)
+    out: list[GapFillOutcome | None] = [None] * n
+    pending = list(range(n))
+    rung_band: int | None = band
+    rungs = 0
+    while pending:
+        res = fill_global_batch(
+            [queries[k] for k in pending],
+            [targets[k] for k in pending],
+            scoring,
+            w=rung_band,
+        )
+        failures: list[int] = []
+        for k, r in zip(pending, res):
+            if r.optimal:
+                out[k] = GapFillOutcome(
+                    result=r, band_requested=band, escalations=rungs
+                )
+            else:
+                failures.append(k)
+        pending = failures
+        if not pending:
+            break
+        rungs += 1
+        next_band = rung_band * escalation if rung_band else None
+        widest = max(
+            max(len(queries[k]), len(targets[k])) for k in pending
+        )
+        if next_band is None or next_band >= widest:
+            rung_band = None  # full band: the ladder's last rung
+        else:
+            rung_band = next_band
+    return [o for o in out if o is not None]

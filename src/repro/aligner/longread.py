@@ -13,6 +13,22 @@ inter-seed gap is aligned on a narrow band, proven optimal or rerun,
 so the stitched alignment is bit-equivalent to full-band fills.  Read
 ends are finished with the semi-global :class:`SeedExtender`, so both
 of the paper's guaranteed modes are exercised in one pipeline.
+
+Two execution paths share one plan/stitch skeleton:
+
+* :meth:`LongReadAligner.align` — the scalar path: one read at a
+  time, one ``GlobalSeedEx`` call per gap;
+* :meth:`LongReadAligner.align_batch` — the batched path: windows of
+  reads move through three dependency-ordered waves (left ends →
+  gap fills → right ends).  End extensions ride the same
+  ``extend_wave`` engines the short-read scheduler uses; gap fills
+  are collected *across* reads into shape-bucketed lockstep sweeps
+  with adaptive band escalation
+  (:func:`repro.align.globalbatch.fill_gaps_guaranteed`).
+
+Both paths end at guaranteed-optimal scores for every piece, so their
+stitched alignments — and the SAM lines :func:`sam_record` renders —
+are byte-identical (pinned by ``tests/kernels/test_differential_e2e.py``).
 """
 
 from __future__ import annotations
@@ -21,12 +37,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.align.cigar import Cigar
 from repro.align.fullmatrix import traceback_extension, traceback_global
+from repro.align.globalbatch import fill_gaps_guaranteed
 from repro.align.scoring import BWA_MEM_SCORING, AffineGap
-from repro.aligner.pipeline import _resolve_end
+from repro.aligner.pipeline import DEGRADED, _resolve_end
+from repro.aligner.waves import DEFAULT_BATCH_SIZE, _dispatch_wave
 from repro.core.extender import SeedExtender
 from repro.core.globalcheck import GlobalSeedEx
+from repro.genome.sam import SamRecord
+from repro.genome.sequence import decode
+from repro.obs import names
 from repro.seeding.chaining import chain_seeds, filter_chains
 from repro.seeding.kmer_index import KmerIndex
 from repro.seeding.mems import Seed
@@ -77,6 +99,38 @@ class LongReadStats:
         return self.fills_proved / self.fills if self.fills else 0.0
 
 
+@dataclass
+class _FillOutcome:
+    """A guaranteed-optimal gap fill, path-agnostic."""
+
+    score: int
+    band_used: int
+    proved: bool
+    rerun: bool
+    cells: int
+
+
+@dataclass
+class _ReadPlan:
+    """Everything about a read that is known before any DP runs.
+
+    Both execution paths derive jobs from the same plan, which is what
+    makes their outputs byte-identical: the job *geometry* is decided
+    once, only the schedule differs.
+    """
+
+    name: str
+    codes: np.ndarray
+    backbone: list[Seed]
+    lq: np.ndarray
+    lt: np.ndarray
+    h0: int
+    rq: np.ndarray
+    rt: np.ndarray
+    gaps: list[tuple[np.ndarray, np.ndarray]]
+    gap_slots: list[int | None]
+
+
 class LongReadAligner:
     """Seed-chain-fill alignment with guaranteed-optimal fills."""
 
@@ -88,18 +142,22 @@ class LongReadAligner:
         k: int = 15,
         scoring: AffineGap = BWA_MEM_SCORING,
         max_fill_gap: int = 400,
+        reference_name: str = "chr1",
     ) -> None:
         self.reference = np.asarray(reference, dtype=np.uint8)
         self.scoring = scoring
         self.fill_band = fill_band
         self.max_fill_gap = max_fill_gap
+        self.reference_name = reference_name
         self.index = KmerIndex(self.reference, k=k)
         self.filler = GlobalSeedEx(band=fill_band, scoring=scoring)
         self.end_extender = SeedExtender(band=end_band, scoring=scoring)
         self.stats = LongReadStats()
 
-    def align(self, codes: np.ndarray, name: str = "read") -> LongReadAlignment | None:
-        """Align one long read; None when no usable chain exists."""
+    # -- planning -------------------------------------------------------
+
+    def _plan(self, codes: np.ndarray, name: str) -> _ReadPlan | None:
+        """Seed, chain and lay out one read's jobs; None when hopeless."""
         self.stats.reads += 1
         codes = np.asarray(codes, dtype=np.uint8)
         seeds = self.index.seed_read(codes, stride=8, max_occurrences=8)
@@ -120,94 +178,316 @@ class LongReadAligner:
             return None
 
         ref = self.reference
-        m = self.scoring.match
-        ops: list[tuple[int, str]] = []
-        score = 0
-        fills: list[FillRecord] = []
-
-        # Left end: semi-global extension from the first seed.
         first = backbone[0]
         lq = codes[: first.qbegin][::-1].copy()
         lt_lo = max(0, first.rbegin - len(lq) - 64)
         lt = ref[lt_lo : first.rbegin][::-1].copy()
-        h0 = first.length * m
-        if len(lq):
-            lres = self.end_extender.extend(lq, lt, h0).result
-            l_end, l_score, clip_left = _resolve_end(lres, h0)
-            if clip_left:
-                ops.append((clip_left, "S"))
-            if l_end != (0, 0):
-                ops.extend(
-                    traceback_extension(
-                        lq, lt, self.scoring, h0, l_end
-                    ).reversed().ops
-                )
-        else:
-            l_end, l_score, clip_left = (0, 0), h0, 0
-        pos = first.rbegin - l_end[0]
-        score += l_score
+        h0 = first.length * self.scoring.match
 
-        # Backbone: seeds stitched by guaranteed-optimal global fills.
-        ops.append((first.length, "M"))
+        gaps: list[tuple[np.ndarray, np.ndarray]] = []
+        gap_slots: list[int | None] = []
         prev = first
         for seed in backbone[1:]:
             qgap = codes[prev.qend : seed.qbegin]
             tgap = ref[prev.rbegin + prev.length : seed.rbegin]
             if len(qgap) == 0 and len(tgap) == 0:
-                ops.append((seed.length, "M"))
-                score += seed.length * m
-                prev = seed
-                continue
-            out = self.filler.align(qgap, tgap)
-            self.stats.fills += 1
-            self.stats.fills_proved += out.decision.passed
-            self.stats.fill_cells_narrow += out.narrow_result.cells_computed
-            fills.append(
-                FillRecord(
-                    query_gap=len(qgap),
-                    target_gap=len(tgap),
-                    band_used=out.narrow_result.band,
-                    score=out.result.score,
-                    proved_optimal=out.decision.passed,
-                    rerun=out.rerun,
-                )
-            )
-            score += out.result.score
-            if len(qgap) or len(tgap):
-                ops.extend(
-                    traceback_global(qgap, tgap, self.scoring).ops
-                )
-            ops.append((seed.length, "M"))
-            score += seed.length * m
+                gap_slots.append(None)
+            else:
+                gap_slots.append(len(gaps))
+                gaps.append((qgap, tgap))
             prev = seed
 
-        # Right end: semi-global extension beyond the last seed.
         rq = codes[prev.qend :].copy()
         rt_hi = min(len(ref), prev.rbegin + prev.length + len(rq) + 64)
         rt = ref[prev.rbegin + prev.length : rt_hi].copy()
-        if len(rq):
-            rres = self.end_extender.extend(rq, rt, max(1, score)).result
-            r_end, r_score, clip_right = _resolve_end(
-                rres, max(1, score)
+        return _ReadPlan(
+            name=name, codes=codes, backbone=backbone,
+            lq=lq, lt=lt, h0=h0, rq=rq, rt=rt,
+            gaps=gaps, gap_slots=gap_slots,
+        )
+
+    # -- the two fill schedules ----------------------------------------
+
+    def _fill_scalar(
+        self, qgap: np.ndarray, tgap: np.ndarray
+    ) -> _FillOutcome:
+        """One gap through the scalar checked filler."""
+        out = self.filler.align(qgap, tgap)
+        self.stats.fills += 1
+        self.stats.fills_proved += out.decision.passed
+        self.stats.fill_cells_narrow += out.narrow_result.cells_computed
+        return _FillOutcome(
+            score=out.result.score,
+            band_used=out.narrow_result.band,
+            proved=out.decision.passed,
+            rerun=out.rerun,
+        cells=out.narrow_result.cells_computed,
+        )
+
+    def _fill_wave(
+        self, gaps: list[tuple[np.ndarray, np.ndarray]]
+    ) -> list[_FillOutcome]:
+        """A whole wave of gaps through the lockstep escalation ladder."""
+        if not gaps:
+            return []
+        with obs.span(
+            names.SPAN_PIPELINE_LONGREAD_FILL_WAVE, jobs=len(gaps)
+        ):
+            outs = fill_gaps_guaranteed(
+                [q for q, _ in gaps],
+                [t for _, t in gaps],
+                self.scoring,
+                band=self.fill_band,
             )
+        escalated = sum(1 for o in outs if o.escalations)
+        self.stats.fills += len(outs)
+        self.stats.fills_proved += len(outs) - escalated
+        self.stats.fill_cells_narrow += sum(
+            o.result.cells_computed for o in outs
+        )
+        if obs.enabled():
+            reg = obs.get_registry()
+            reg.counter(
+                names.PIPELINE_LONGREAD_FILL_JOBS, "batched gap fills"
+            ).inc(len(outs))
+            if escalated:
+                reg.counter(
+                    names.PIPELINE_LONGREAD_FILL_ESCALATIONS,
+                    "gap fills that climbed the band ladder",
+                ).inc(escalated)
+        return [
+            _FillOutcome(
+                score=o.result.score,
+                band_used=o.result.band,
+                proved=o.escalations == 0,
+                rerun=o.rerun,
+                cells=o.result.cells_computed,
+            )
+            for o in outs
+        ]
+
+    # -- stitching ------------------------------------------------------
+
+    def _stitch_middle(
+        self,
+        plan: _ReadPlan,
+        l_resolved: tuple[tuple[int, int], int, int],
+        fill_outs: list[_FillOutcome],
+    ):
+        """Left end + backbone into ops; returns (ops, score, pos, fills)."""
+        l_end, l_score, clip_left = l_resolved
+        ops: list[tuple[int, str]] = []
+        if clip_left:
+            ops.append((clip_left, "S"))
+        if len(plan.lq) and l_end != (0, 0):
+            ops.extend(
+                traceback_extension(
+                    plan.lq, plan.lt, self.scoring, plan.h0, l_end
+                ).reversed().ops
+            )
+        first = plan.backbone[0]
+        pos = first.rbegin - l_end[0]
+        score = l_score
+        m = self.scoring.match
+
+        ops.append((first.length, "M"))
+        fills: list[FillRecord] = []
+        for seed, slot in zip(plan.backbone[1:], plan.gap_slots):
+            if slot is not None:
+                qgap, tgap = plan.gaps[slot]
+                fo = fill_outs[slot]
+                fills.append(
+                    FillRecord(
+                        query_gap=len(qgap),
+                        target_gap=len(tgap),
+                        band_used=fo.band_used,
+                        score=fo.score,
+                        proved_optimal=fo.proved,
+                        rerun=fo.rerun,
+                    )
+                )
+                score += fo.score
+                if len(qgap) or len(tgap):
+                    ops.extend(
+                        traceback_global(qgap, tgap, self.scoring).ops
+                    )
+            ops.append((seed.length, "M"))
+            score += seed.length * m
+        return ops, score, pos, fills
+
+    def _finish(
+        self,
+        plan: _ReadPlan,
+        ops: list[tuple[int, str]],
+        score: int,
+        pos: int,
+        fills: list[FillRecord],
+        r_resolved: tuple[tuple[int, int], int, int] | None,
+        r_h0: int,
+    ) -> LongReadAlignment:
+        """Apply the right-end resolution and build the alignment."""
+        if r_resolved is not None:
+            r_end, r_score, clip_right = r_resolved
             if r_end != (0, 0):
                 ops.extend(
                     traceback_extension(
-                        rq, rt, self.scoring, max(1, score), r_end
+                        plan.rq, plan.rt, self.scoring, r_h0, r_end
                     ).ops
                 )
             if clip_right:
                 ops.append((clip_right, "S"))
             score = r_score
-
         return LongReadAlignment(
-            name=name,
+            name=plan.name,
             pos=pos,
             score=score,
             cigar=Cigar.from_ops(ops),
-            seeds_used=len(backbone),
+            seeds_used=len(plan.backbone),
             fills=fills,
         )
+
+    # -- the scalar path ------------------------------------------------
+
+    def align(self, codes: np.ndarray, name: str = "read") -> LongReadAlignment | None:
+        """Align one long read; None when no usable chain exists."""
+        plan = self._plan(codes, name)
+        if plan is None:
+            return None
+        if len(plan.lq):
+            lres = self.end_extender.extend(plan.lq, plan.lt, plan.h0).result
+            l_resolved = _resolve_end(lres, plan.h0)
+        else:
+            l_resolved = ((0, 0), plan.h0, 0)
+        fill_outs = [self._fill_scalar(q, t) for q, t in plan.gaps]
+        ops, score, pos, fills = self._stitch_middle(
+            plan, l_resolved, fill_outs
+        )
+        r_resolved = None
+        r_h0 = max(1, score)
+        if len(plan.rq):
+            rres = self.end_extender.extend(plan.rq, plan.rt, r_h0).result
+            r_resolved = _resolve_end(rres, r_h0)
+        return self._finish(
+            plan, ops, score, pos, fills, r_resolved, r_h0
+        )
+
+    # -- the batched path -----------------------------------------------
+
+    def align_batch(
+        self,
+        reads,
+        engine=None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> list[LongReadAlignment | None]:
+        """Align many reads through three dependency-ordered waves.
+
+        ``reads`` may be ``(name, codes)`` pairs or ``SimulatedRead``-like
+        objects; results come back in input order, byte-identical to
+        per-read :meth:`align`.  ``engine`` handles the end-extension
+        waves (anything with ``extend`` works; ``extend_wave`` engines
+        get whole waves) and defaults to the scalar ``SeedExtender`` —
+        pass a :class:`~repro.aligner.engines.BatchedEngine` for the
+        lockstep fast path.  A dead-lettered end job falls back to the
+        scalar extender alone, never its whole wave.
+        """
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        normalized = [
+            (read.name, read.codes) if hasattr(read, "codes") else read
+            for read in reads
+        ]
+        out: list[LongReadAlignment | None] = []
+        for start in range(0, len(normalized), batch_size):
+            out.extend(
+                self._align_window(
+                    normalized[start : start + batch_size], engine
+                )
+            )
+        return out
+
+    def _align_window(self, window, engine) -> list[LongReadAlignment | None]:
+        """One window: left wave → fill wave → right wave → stitch."""
+        with obs.span(
+            names.SPAN_PIPELINE_LONGREAD_WINDOW, reads=len(window)
+        ):
+            plans = [self._plan(codes, name) for name, codes in window]
+            live = [p for p in plans if p is not None]
+            if obs.enabled():
+                obs.get_registry().counter(
+                    names.PIPELINE_LONGREAD_READS, "long reads planned"
+                ).inc(len(window))
+
+            # Wave 1: left ends (h0 known up front).
+            lefts = [p for p in live if len(p.lq)]
+            l_resolved: dict[int, tuple] = {}
+            if engine is not None:
+                results = _dispatch_wave(
+                    engine,
+                    [(p.lq, p.lt, p.h0) for p in lefts],
+                    "longread_left",
+                )
+            else:
+                results = [
+                    self.end_extender.extend(p.lq, p.lt, p.h0).result
+                    for p in lefts
+                ]
+            for p, res in zip(lefts, results):
+                if res is DEGRADED:
+                    res = self.end_extender.extend(p.lq, p.lt, p.h0).result
+                l_resolved[id(p)] = _resolve_end(res, p.h0)
+            for p in live:
+                if not len(p.lq):
+                    l_resolved[id(p)] = ((0, 0), p.h0, 0)
+
+            # Wave 2: every gap of every read, one lockstep ladder.
+            flat: list[tuple[np.ndarray, np.ndarray]] = []
+            spans: list[tuple[int, int]] = []
+            for p in live:
+                spans.append((len(flat), len(flat) + len(p.gaps)))
+                flat.extend(p.gaps)
+            fill_outs = self._fill_wave(flat)
+
+            # Stitch middles; wave 3: right ends (h0 = stitched score).
+            middles: dict[int, tuple] = {}
+            rights: list[tuple[_ReadPlan, int]] = []
+            for p, (lo, hi) in zip(live, spans):
+                ops, score, pos, fills = self._stitch_middle(
+                    p, l_resolved[id(p)], fill_outs[lo:hi]
+                )
+                middles[id(p)] = (ops, score, pos, fills)
+                if len(p.rq):
+                    rights.append((p, max(1, score)))
+            r_resolved: dict[int, tuple] = {}
+            if engine is not None:
+                results = _dispatch_wave(
+                    engine,
+                    [(p.rq, p.rt, h0) for p, h0 in rights],
+                    "longread_right",
+                )
+            else:
+                results = [
+                    self.end_extender.extend(p.rq, p.rt, h0).result
+                    for p, h0 in rights
+                ]
+            for (p, h0), res in zip(rights, results):
+                if res is DEGRADED:
+                    res = self.end_extender.extend(p.rq, p.rt, h0).result
+                r_resolved[id(p)] = _resolve_end(res, h0)
+
+            out: list[LongReadAlignment | None] = []
+            for p in plans:
+                if p is None:
+                    out.append(None)
+                    continue
+                ops, score, pos, fills = middles[id(p)]
+                out.append(
+                    self._finish(
+                        p, ops, score, pos, fills,
+                        r_resolved.get(id(p)),
+                        max(1, score),
+                    )
+                )
+        return out
 
 
 def _non_overlapping(seeds: list[Seed]) -> list[Seed]:
@@ -224,3 +504,171 @@ def _non_overlapping(seeds: list[Seed]) -> list[Seed]:
         ):
             backbone.append(seed)
     return backbone
+
+
+_SHARD_STATE = None
+"""Worker-process (aligner, engine); pre-built by the parent on fork."""
+
+
+def _build_long_state(reference, spec, options):
+    """One worker's long-read state: aligner plus optional end engine."""
+    aligner = LongReadAligner(reference, **options)
+    engine = spec.build() if spec is not None else None
+    return aligner, engine
+
+
+def _init_long_worker(reference, spec, options, collect) -> None:
+    """Pool initializer: adopt the forked state or build a fresh one."""
+    global _SHARD_STATE
+    if collect and not obs.enabled():
+        obs.enable()
+    if _SHARD_STATE is None:
+        _SHARD_STATE = _build_long_state(reference, spec, options)
+
+
+def _run_long_shard(task):
+    """Align one long-read shard; returns records + a metrics snapshot."""
+    index, reads, batch_size, mode, collect = task
+    if collect:
+        obs.reset()
+    aligner, engine = _SHARD_STATE
+    if mode == "batched":
+        alns = aligner.align_batch(
+            reads, engine=engine, batch_size=batch_size
+        )
+    else:
+        alns = [aligner.align(codes, name) for name, codes in reads]
+    records = [
+        sam_record(
+            name, codes, aln,
+            reference_name=aligner.reference_name,
+            match=aligner.scoring.match,
+        )
+        for (name, codes), aln in zip(reads, alns)
+    ]
+    snapshot = obs.get_registry().snapshot() if collect else None
+    return index, records, snapshot
+
+
+def align_long_sharded(
+    reference: np.ndarray,
+    reads,
+    mode: str = "batched",
+    spec=None,
+    workers: int = 2,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    start_method: str | None = None,
+    **aligner_options,
+) -> list[SamRecord]:
+    """Align long reads across worker processes, input order kept.
+
+    The long-read twin of :func:`repro.aligner.parallel.align_sharded`
+    — same contiguous shard plan, same fork copy-on-write state
+    sharing, same metric-snapshot absorption — but each worker drives
+    a :class:`LongReadAligner`.  ``mode`` selects the per-shard
+    schedule (``scalar`` loops :meth:`~LongReadAligner.align`;
+    ``batched`` runs the three-wave :meth:`~LongReadAligner.align_batch`)
+    and ``spec`` (an :class:`~repro.aligner.parallel.EngineSpec`) names
+    the optional end-extension engine.  Both modes, at any worker
+    count, emit byte-identical SAM.
+    """
+    from repro.aligner.parallel import (
+        _normalize_reads,
+        _note_shards,
+        _resolve_context,
+        _shard_plan,
+        _validate_spawn_payload,
+    )
+
+    global _SHARD_STATE
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if mode not in ("scalar", "batched"):
+        raise ValueError(f"unknown long-read mode {mode!r}")
+    normalized = _normalize_reads(reads)
+    workers = max(1, min(workers, max(1, len(normalized))))
+    collect = obs.enabled()
+
+    if workers == 1:
+        aligner, engine = _build_long_state(
+            reference, spec, aligner_options
+        )
+        if mode == "batched":
+            alns = aligner.align_batch(
+                normalized, engine=engine, batch_size=batch_size
+            )
+        else:
+            alns = [
+                aligner.align(codes, name) for name, codes in normalized
+            ]
+        _note_shards(collect, [len(normalized)], merged=0)
+        return [
+            sam_record(
+                name, codes, aln,
+                reference_name=aligner.reference_name,
+                match=aligner.scoring.match,
+            )
+            for (name, codes), aln in zip(normalized, alns)
+        ]
+
+    plan = _shard_plan(len(normalized), workers)
+    tasks = [
+        (i, normalized[start:stop], batch_size, mode, collect)
+        for i, (start, stop) in enumerate(plan)
+    ]
+    ctx, method = _resolve_context(start_method)
+    forked = method == "fork"
+    if not forked:
+        _validate_spawn_payload(reference, spec, aligner_options)
+    if forked:
+        _SHARD_STATE = _build_long_state(reference, spec, aligner_options)
+    try:
+        with ctx.Pool(
+            processes=workers,
+            initializer=_init_long_worker,
+            initargs=(reference, spec, aligner_options, collect),
+        ) as pool:
+            results = pool.map(_run_long_shard, tasks)
+    finally:
+        _SHARD_STATE = None
+
+    results.sort(key=lambda item: item[0])
+    records = [rec for _, shard, _ in results for rec in shard]
+    merged = 0
+    if collect:
+        registry = obs.get_registry()
+        for _, _, snapshot in results:
+            if snapshot is not None:
+                registry.absorb_snapshot(snapshot)
+                merged += 1
+    _note_shards(collect, [stop - start for start, stop in plan], merged)
+    return records
+
+
+def sam_record(
+    name: str,
+    codes: np.ndarray,
+    aln: LongReadAlignment | None,
+    reference_name: str = "chr1",
+    match: int = BWA_MEM_SCORING.match,
+) -> SamRecord:
+    """Render one long-read alignment (or its absence) as SAM.
+
+    MAPQ scales the stitched score against a perfect full-length match
+    — deterministic in the score alone, so the scalar and batched
+    paths render identical lines.
+    """
+    if aln is None:
+        return SamRecord.unmapped(name, decode(codes))
+    denom = max(1, len(codes) * match)
+    mapq = max(0, min(60, (aln.score * 60) // denom))
+    return SamRecord(
+        qname=name,
+        flag=0,
+        rname=reference_name,
+        pos=aln.pos,
+        mapq=mapq,
+        cigar=str(aln.cigar),
+        seq=decode(codes),
+        tags=(f"AS:i:{aln.score}", f"XS:i:{aln.seeds_used}"),
+    )

@@ -23,13 +23,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.align.cigar import Cigar
 from repro.align.fullmatrix import traceback_extension
-from repro.aligner.pipeline import Aligner, _resolve_end
+from repro.aligner.pipeline import DEGRADED, Aligner, _resolve_end
 from repro.core.extender import SeedExtender
 from repro.genome.sam import FLAG_REVERSE, SamRecord
 from repro.genome.sequence import decode, reverse_complement
 from repro.genome.synth import ReadProfile
+from repro.obs import names
 
 FLAG_PAIRED = 0x1
 FLAG_PROPER = 0x2
@@ -67,6 +69,25 @@ class ReadPair:
     name: str
     first: np.ndarray
     second: np.ndarray
+
+
+@dataclass
+class _RescuePlan:
+    """A rescue attempt's geometry, fixed before any DP runs.
+
+    ``query`` is the mate in window orientation (reverse-complemented
+    when the anchor is forward), ``window`` the reference slice the
+    insert model implies, and ``groups`` the candidate ``(o, off)``
+    placements per probe offset, in scalar enumeration order.
+    """
+
+    mate_codes: np.ndarray
+    query: np.ndarray
+    window: np.ndarray
+    start: int
+    reverse: bool
+    k: int
+    groups: list[list[tuple[int, int]]]
 
 
 @dataclass
@@ -210,17 +231,18 @@ class PairedAligner:
 
     # -- mate rescue -----------------------------------------------------------
 
-    def _rescue(
-        self,
-        mate_codes: np.ndarray,
-        anchor: SamRecord,
-        mate_is_first: bool = True,
-    ) -> SamRecord | None:
-        """Search for the mate inside the insert window of the anchor.
+    def _rescue_plan(
+        self, mate_codes: np.ndarray, anchor: SamRecord
+    ) -> "_RescuePlan | None":
+        """Everything about a rescue attempt known before any DP runs.
 
-        The mate is aligned semi-globally against the window with the
-        SeedEx extender (h0 = one match: nothing is pre-anchored), so
-        even the rescue path inherits the optimality guarantee.
+        The insert model and the anchor's strand fix the reference
+        window and the mate's orientation; short exact probes at
+        several query offsets nominate candidate placements (grouped
+        by probe offset, deduplicated by implied start — the exact
+        enumeration order the scalar loop uses).  Both the scalar and
+        the batched rescue paths consume this plan, which is what
+        makes their records byte-identical.
         """
         lo_ins, hi_ins = self.insert.window
         ref = self.reference
@@ -250,45 +272,114 @@ class PairedAligner:
         k = 12
         if len(query) < k:
             return None
-        m = self.aligner.scoring.match
-        best = None
+        groups: list[list[tuple[int, int]]] = []
         seen_starts: set[int] = set()
         for o in range(0, len(query) - k + 1, 10):
             probe = query[o : o + k]
-            matches = _find_exact(window, probe)
-            for off in matches:
+            group: list[tuple[int, int]] = []
+            for off in _find_exact(window, probe):
                 implied = off - o
                 if implied in seen_starts:
                     continue
                 seen_starts.add(implied)
-                # Left extension (reversed), then right with the
-                # accumulated score as h0.
-                lq = query[:o][::-1].copy()
-                lt = window[max(0, implied) : off][::-1].copy()
-                h0 = k * m
-                if len(lq):
-                    lres = self.rescuer.extend(lq, lt, h0).result
-                    l_end, l_score, l_clip = _resolve_end(lres, h0)
-                else:
-                    l_end, l_score, l_clip = (0, 0), h0, 0
-                rq = query[o + k :].copy()
-                rt = window[off + k : off + k + len(rq) + 25].copy()
-                if len(rq):
-                    rres = self.rescuer.extend(rq, rt, l_score).result
-                    r_end, score, r_clip = _resolve_end(rres, l_score)
-                else:
-                    r_end, score, r_clip = (0, 0), l_score, 0
-                if best is None or score > best[0]:
-                    best = (
-                        score, o, off, l_end, l_score, l_clip,
-                        r_end, r_clip,
-                    )
-            if best is not None and best[0] >= len(query) * m // 2:
+                group.append((o, off))
+            groups.append(group)
+        return _RescuePlan(
+            mate_codes=mate_codes,
+            query=query,
+            window=window,
+            start=start,
+            reverse=reverse,
+            k=k,
+            groups=groups,
+        )
+
+    def _candidate_jobs(self, plan: "_RescuePlan", o: int, off: int):
+        """The (left, right-template) job geometry of one candidate."""
+        lq = plan.query[:o][::-1].copy()
+        lt = plan.window[max(0, off - o) : off][::-1].copy()
+        rq = plan.query[o + plan.k :].copy()
+        rt = plan.window[
+            off + plan.k : off + plan.k + len(rq) + 25
+        ].copy()
+        return lq, lt, rq, rt
+
+    def _extend_candidate(
+        self, plan: "_RescuePlan", o: int, off: int
+    ) -> tuple:
+        """Left extension (reversed), then right with the accumulated
+        score as h0 — the scalar schedule for one candidate."""
+        lq, lt, rq, rt = self._candidate_jobs(plan, o, off)
+        h0 = plan.k * self.aligner.scoring.match
+        if len(lq):
+            lres = self.rescuer.extend(lq, lt, h0).result
+            l_end, l_score, l_clip = _resolve_end(lres, h0)
+        else:
+            l_end, l_score, l_clip = (0, 0), h0, 0
+        if len(rq):
+            rres = self.rescuer.extend(rq, rt, l_score).result
+            r_end, score, r_clip = _resolve_end(rres, l_score)
+        else:
+            r_end, score, r_clip = (0, 0), l_score, 0
+        return (score, o, off, l_end, l_score, l_clip, r_end, r_clip)
+
+    def _select_rescue(
+        self, plan: "_RescuePlan", extended: dict
+    ) -> tuple | None:
+        """Pick the winning candidate from pre-computed extensions.
+
+        Replicates the scalar loop exactly — strict ``>`` best
+        tracking in enumeration order and the early break after any
+        probe group whose best reaches half a perfect score — so
+        candidates the scalar path never extended are ignored even
+        when their results sit in ``extended``.
+        """
+        m = self.aligner.scoring.match
+        best = None
+        for group in plan.groups:
+            for o, off in group:
+                cand = extended[(o, off)]
+                if best is None or cand[0] > best[0]:
+                    best = cand
+            if best is not None and best[0] >= len(plan.query) * m // 2:
                 break
+        return best
+
+    def _rescue(
+        self,
+        mate_codes: np.ndarray,
+        anchor: SamRecord,
+        mate_is_first: bool = True,
+    ) -> SamRecord | None:
+        """Search for the mate inside the insert window of the anchor.
+
+        The mate is aligned semi-globally against the window with the
+        SeedEx extender (h0 = one match: nothing is pre-anchored), so
+        even the rescue path inherits the optimality guarantee.
+        """
+        plan = self._rescue_plan(mate_codes, anchor)
+        if plan is None:
+            return None
+        m = self.aligner.scoring.match
+        best = None
+        for group in plan.groups:
+            for o, off in group:
+                cand = self._extend_candidate(plan, o, off)
+                if best is None or cand[0] > best[0]:
+                    best = cand
+            if best is not None and best[0] >= len(plan.query) * m // 2:
+                break
+        return self._emit_rescue(plan, anchor, best)
+
+    def _emit_rescue(
+        self, plan: "_RescuePlan", anchor: SamRecord, best: tuple | None
+    ) -> SamRecord | None:
+        """Score-gate the winning candidate and render its record."""
         if best is None:
             return None
         score, o, off, l_end, l_score, l_clip, r_end, r_clip = best
-        min_score = len(query) * m // 3
+        query, window, k = plan.query, plan.window, plan.k
+        min_score = len(query) * self.aligner.scoring.match // 3
         if score < min_score:
             return None
         ops: list[tuple[int, str]] = []
@@ -299,7 +390,8 @@ class PairedAligner:
             lt = window[max(0, off - o) : off][::-1].copy()
             ops.extend(
                 traceback_extension(
-                    lq, lt, self.aligner.scoring, k * m, l_end
+                    lq, lt, self.aligner.scoring,
+                    k * self.aligner.scoring.match, l_end
                 ).reversed().ops
             )
         ops.append((k, "M"))
@@ -315,17 +407,188 @@ class PairedAligner:
             ops.append((r_clip, "S"))
         cigar = Cigar.from_ops(ops)
         pos_in_window = off - l_end[0]
-        flag = FLAG_REVERSE if reverse else 0
+        flag = FLAG_REVERSE if plan.reverse else 0
         return SamRecord(
             qname=anchor.qname,
             flag=flag,
             rname=anchor.rname,
-            pos=start + pos_in_window,
+            pos=plan.start + pos_in_window,
             mapq=max(0, min(60, score - min_score)),
             cigar=str(cigar),
-            seq=decode(mate_codes),
+            seq=decode(plan.mate_codes),
             tags=(f"AS:i:{score}", "XR:i:1"),
         )
+
+    # -- the batched path ---------------------------------------------------
+
+    def align_pairs_batched(
+        self, pairs, engine=None, batch_size: int = 4096
+    ) -> list[tuple[SamRecord, SamRecord]]:
+        """Align pairs window by window with batched mate rescue.
+
+        Phase A sends every mate of a window through the deferred-
+        extension wave scheduler; phase B collects every rescue
+        candidate across the window into two cross-pair extension
+        waves (all left extensions, then all rights with the lefts'
+        scores as ``h0``) instead of extending pair by pair.  The
+        selection replays the scalar enumeration order, so records —
+        flags, positions, CIGARs, tags — are byte-identical to
+        :meth:`align_pair` on every pair.
+
+        ``engine`` serves the rescue waves (``extend_wave`` engines
+        take them in lockstep; ``None`` falls back to the scalar
+        rescuer per job); a dead-lettered job degrades alone, through
+        the same scalar rescuer.
+        """
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        out: list[tuple[SamRecord, SamRecord]] = []
+        for start in range(0, len(pairs), batch_size):
+            out.extend(
+                self._pairs_window(pairs[start : start + batch_size], engine)
+            )
+        return out
+
+    def _pairs_window(
+        self, pairs, engine
+    ) -> list[tuple[SamRecord, SamRecord]]:
+        from repro.aligner.waves import _dispatch_wave, align_window
+
+        mates: list[tuple[str, np.ndarray]] = []
+        for pair in pairs:
+            mates.append((pair.name, pair.first))
+            mates.append((pair.name, pair.second))
+        recs = align_window(self.aligner, mates)
+        self.stats.pairs += len(pairs)
+
+        # Decide, per pair, whether (and which mate) to rescue — the
+        # same ladder the scalar path walks.
+        decisions: list[tuple[SamRecord, SamRecord, tuple | None]] = []
+        for i, pair in enumerate(pairs):
+            rec1, rec2 = recs[2 * i], recs[2 * i + 1]
+            need: tuple | None = None
+            if self._concordant(rec1, rec2):
+                pass
+            elif not rec1.is_unmapped and (
+                rec2.is_unmapped or not self._concordant(rec1, rec2)
+            ):
+                plan = self._rescue_plan(pair.second, rec1)
+                if plan is not None:
+                    need = ("second", plan, rec1)
+            elif not rec2.is_unmapped and rec1.is_unmapped:
+                plan = self._rescue_plan(pair.first, rec2)
+                if plan is not None:
+                    need = ("first", plan, rec2)
+            decisions.append((rec1, rec2, need))
+
+        # Phase B: every candidate of every plan, two waves.
+        cands: list[tuple[object, int, int]] = []
+        for _, _, need in decisions:
+            if need is None:
+                continue
+            for group in need[1].groups:
+                for o, off in group:
+                    cands.append((need[1], o, off))
+        extended = self._extend_wave(cands, engine, _dispatch_wave)
+
+        out: list[tuple[SamRecord, SamRecord]] = []
+        for rec1, rec2, need in decisions:
+            if need is not None:
+                which, plan, anchor = need
+                per_plan = {
+                    (o, off): extended[(id(plan), o, off)]
+                    for group in plan.groups
+                    for o, off in group
+                }
+                best = self._select_rescue(plan, per_plan)
+                rescued = self._emit_rescue(plan, anchor, best)
+                if which == "second":
+                    if rescued is not None and (
+                        rec2.is_unmapped
+                        or self._better_pair(rec1, rescued, rec2)
+                    ):
+                        rec2 = rescued
+                        self.stats.rescued += 1
+                else:
+                    if rescued is not None:
+                        rec1 = rescued
+                        self.stats.rescued += 1
+            proper = self._concordant(rec1, rec2)
+            if proper:
+                self.stats.proper += 1
+            out.append(
+                (
+                    self._flag(rec1, rec2, proper, first=True),
+                    self._flag(rec2, rec1, proper, first=False),
+                )
+            )
+        return out
+
+    def _extend_wave(self, cands, engine, dispatch) -> dict:
+        """Extend every candidate via two cross-pair waves.
+
+        Returns ``{(id(plan), o, off): candidate tuple}`` with exactly
+        the values :meth:`_extend_candidate` would produce — the right
+        wave threads each left result's score in as ``h0``, and any
+        ``DEGRADED`` job falls back to the scalar rescuer alone.
+        """
+        if not cands:
+            return {}
+        m = self.aligner.scoring.match
+        geoms = [
+            self._candidate_jobs(plan, o, off) for plan, o, off in cands
+        ]
+        h0 = [plan.k * m for plan, _, _ in cands]
+        if obs.enabled():
+            reg = obs.get_registry()
+            reg.counter(
+                names.PAIRED_RESCUE_JOBS, "rescue candidates extended"
+            ).inc(len(cands))
+
+        def _run(jobs, side):
+            if obs.enabled():
+                obs.get_registry().counter(
+                    names.PAIRED_RESCUE_WAVES, "rescue waves"
+                ).inc()
+            if engine is None:
+                return [
+                    self.rescuer.extend(q, t, h).result
+                    for q, t, h in jobs
+                ]
+            results = dispatch(engine, jobs, side)
+            return [
+                self.rescuer.extend(q, t, h).result if r is DEGRADED else r
+                for (q, t, h), r in zip(jobs, results)
+            ]
+
+        left_idx = [i for i, g in enumerate(geoms) if len(g[0])]
+        left_results = _run(
+            [(geoms[i][0], geoms[i][1], h0[i]) for i in left_idx],
+            "rescue_left",
+        )
+        lefts: list[tuple] = [((0, 0), h, 0) for h in h0]
+        for i, res in zip(left_idx, left_results):
+            lefts[i] = _resolve_end(res, h0[i])
+
+        right_idx = [i for i, g in enumerate(geoms) if len(g[2])]
+        right_results = _run(
+            [(geoms[i][2], geoms[i][3], lefts[i][1]) for i in right_idx],
+            "rescue_right",
+        )
+        rights: list[tuple] = [
+            ((0, 0), lefts[i][1], 0) for i in range(len(cands))
+        ]
+        for i, res in zip(right_idx, right_results):
+            rights[i] = _resolve_end(res, lefts[i][1])
+
+        extended = {}
+        for i, (plan, o, off) in enumerate(cands):
+            l_end, l_score, l_clip = lefts[i]
+            r_end, score, r_clip = rights[i]
+            extended[(id(plan), o, off)] = (
+                score, o, off, l_end, l_score, l_clip, r_end, r_clip
+            )
+        return extended
 
 
     # -- flagging ---------------------------------------------------------------

@@ -1,0 +1,290 @@
+"""All-vs-all suffix-prefix overlap detection on the overlap kernel.
+
+Long-read assemblers (OLC: overlap-layout-consensus) start from every
+dovetail overlap between reads — read A's suffix aligned to read B's
+prefix.  That is a banded semi-global DP with exactly the shape of
+the paper's fill kernels, so it goes through the same speculate-and-
+test contract: every candidate pair is verified on a *narrow* band
+(:meth:`~repro.kernels.KernelBackend.overlap_batch`), the band-edge
+bound proves most verdicts optimal, and the failures rerun at full
+band — the reported overlaps always equal the full-band oracle on the
+same job geometry.
+
+The driver is the classic two-stage shape:
+
+1. **candidates** — a k-mer index over all reads votes on diagonals:
+   a k-mer at position ``pa`` of A and ``pb`` of B implies A's suffix
+   starting at ``pa - pb`` overlaps B's prefix.  Pairs with enough
+   votes on one diagonal survive (repeat k-mers are capped, so a
+   low-complexity read cannot go quadratic);
+2. **verify** — surviving pairs become overlap jobs (query = A's
+   suffix from the voted diagonal, target = B's prefix plus band
+   slack), dispatched in batches through the selected kernel backend.
+
+Output is a PAF-like TSV (:meth:`Overlap.to_line`), sorted by
+``(a_name, b_name, a_start)`` so runs are byte-comparable across
+kernels and batch sizes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.align.scoring import BWA_MEM_SCORING, AffineGap
+from repro.kernels import get_kernel
+from repro.obs import names
+
+_ENCODE_BASE = 4
+"""Codes 0-3 are real bases; AMBIGUOUS_CODE (4) never indexes."""
+
+
+@dataclass(frozen=True)
+class OverlapParams:
+    """Knobs of the overlap driver.
+
+    ``accept`` is the score floor as a fraction of a perfect overlap
+    (``match * query_length``); ``band`` is the verification band —
+    sound at any width thanks to the full-band rerun, narrow widths
+    just rerun more.
+    """
+
+    k: int = 15
+    min_shared: int = 3
+    min_overlap: int = 50
+    accept: float = 0.5
+    band: int = 31
+    max_occurrences: int = 16
+    batch_size: int = 512
+
+
+@dataclass(frozen=True)
+class Overlap:
+    """One accepted suffix-prefix overlap, PAF-flavoured.
+
+    ``a_start``/``a_end`` index read A (the suffix side, ``a_end ==
+    a_len`` by construction); ``b_start``/``b_end`` index read B (the
+    prefix side, ``b_start == 0``).  ``proved`` is True when the
+    narrow band proved the score optimal without a rerun.
+    """
+
+    a_name: str
+    a_len: int
+    a_start: int
+    a_end: int
+    b_name: str
+    b_len: int
+    b_start: int
+    b_end: int
+    score: int
+    band_used: int
+    proved: bool
+
+    def to_line(self) -> str:
+        """Tab-separated PAF-like row (strand is always ``+``)."""
+        return "\t".join(
+            str(field)
+            for field in (
+                self.a_name, self.a_len, self.a_start, self.a_end,
+                "+",
+                self.b_name, self.b_len, self.b_start, self.b_end,
+                self.score, self.band_used,
+                "proved" if self.proved else "rerun",
+            )
+        )
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """A voted pair before verification: A[a_start:] vs B[:t_hi]."""
+
+    a: int
+    b: int
+    a_start: int
+
+
+def _index_reads(
+    reads: list[tuple[str, np.ndarray]], params: OverlapParams
+) -> dict[int, list[tuple[int, int]]]:
+    """Hash every k-mer of every read to ``(read, position)`` lists.
+
+    K-mers containing an ambiguous base are skipped (they cannot
+    produce a match under the scoring model anyway) and k-mers seen in
+    more than ``max_occurrences`` places are dropped entirely — the
+    standard repeat guard that keeps all-vs-all candidate generation
+    near-linear.
+    """
+    k = params.k
+    table: dict[int, list[tuple[int, int]]] = defaultdict(list)
+    for idx, (_, codes) in enumerate(reads):
+        if len(codes) < k:
+            continue
+        arr = np.asarray(codes, dtype=np.int64)
+        powers = _ENCODE_BASE ** np.arange(k - 1, -1, -1, dtype=np.int64)
+        windows = np.lib.stride_tricks.sliding_window_view(arr, k)
+        keys = windows @ powers
+        clean = (windows < _ENCODE_BASE).all(axis=1)
+        for pos in np.flatnonzero(clean):
+            table[int(keys[pos])].append((idx, int(pos)))
+    return {
+        key: hits
+        for key, hits in table.items()
+        if len(hits) <= params.max_occurrences
+    }
+
+
+def _vote_candidates(
+    reads: list[tuple[str, np.ndarray]],
+    table: dict[int, list[tuple[int, int]]],
+    params: OverlapParams,
+) -> list[_Candidate]:
+    """Diagonal voting: the ordered pairs worth verifying.
+
+    For an ordered pair ``(a, b)`` every shared k-mer votes for the
+    diagonal ``pa - pb`` — the start of A's overlapping suffix.  Only
+    non-negative diagonals describe an A-suffix/B-prefix overlap; the
+    symmetric ordering handles the rest.  The winning diagonal is the
+    most-voted one (ties to the *smallest*, i.e. the longest overlap),
+    and it must leave at least ``min_overlap`` suffix.
+    """
+    votes: dict[tuple[int, int], dict[int, int]] = defaultdict(
+        lambda: defaultdict(int)
+    )
+    for hits in table.values():
+        for a, pa in hits:
+            for b, pb in hits:
+                if a == b:
+                    continue
+                diag = pa - pb
+                if diag < 0:
+                    continue
+                votes[(a, b)][diag] += 1
+    out: list[_Candidate] = []
+    for (a, b), diags in sorted(votes.items()):
+        best_diag, best_votes = min(
+            diags.items(), key=lambda item: (-item[1], item[0])
+        )
+        if best_votes < params.min_shared:
+            continue
+        if len(reads[a][1]) - best_diag < params.min_overlap:
+            continue
+        out.append(_Candidate(a=a, b=b, a_start=best_diag))
+    return out
+
+
+def find_overlaps(
+    reads: list[tuple[str, np.ndarray]],
+    params: OverlapParams | None = None,
+    scoring: AffineGap = BWA_MEM_SCORING,
+    kernel=None,
+) -> list[Overlap]:
+    """Detect every accepted pairwise overlap among ``reads``.
+
+    ``reads`` are ``(name, codes)`` pairs.  Verification runs on the
+    selected kernel backend in batches; any job whose narrow-band
+    verdict is not proved optimal reruns at full band, so the emitted
+    scores and endpoints are kernel- and band-independent.
+    """
+    params = params or OverlapParams()
+    backend = get_kernel(kernel)
+    with obs.span(names.SPAN_OVERLAP_RUN, reads=len(reads)):
+        table = _index_reads(reads, params)
+        candidates = _vote_candidates(reads, table, params)
+        if obs.enabled():
+            obs.get_registry().counter(
+                names.OVERLAP_CANDIDATES_TOTAL,
+                "pairs promoted to verification",
+            ).inc(len(candidates))
+        out: list[Overlap] = []
+        reruns = 0
+        for lo in range(0, len(candidates), params.batch_size):
+            wave = candidates[lo : lo + params.batch_size]
+            accepted, wave_reruns = _verify_wave(
+                reads, wave, params, scoring, backend
+            )
+            out.extend(accepted)
+            reruns += wave_reruns
+        if obs.enabled():
+            reg = obs.get_registry()
+            reg.counter(
+                names.OVERLAP_ACCEPTED_TOTAL, "overlaps accepted"
+            ).inc(len(out))
+            if reruns:
+                reg.counter(
+                    names.OVERLAP_RERUNS_TOTAL,
+                    "overlap jobs rerun at full band",
+                ).inc(reruns)
+    out.sort(key=lambda o: (o.a_name, o.b_name, o.a_start))
+    return out
+
+
+def _verify_wave(
+    reads: list[tuple[str, np.ndarray]],
+    wave: list[_Candidate],
+    params: OverlapParams,
+    scoring: AffineGap,
+    backend,
+) -> tuple[list[Overlap], int]:
+    """Verify one batch of candidates; returns (accepted, reruns).
+
+    The speculate-and-test step: narrow-band ``overlap_batch`` first,
+    then one full-band ``overlap_batch`` over exactly the jobs whose
+    band-edge bound failed to prove optimality.
+    """
+    queries = []
+    targets = []
+    for cand in wave:
+        query = reads[cand.a][1][cand.a_start :]
+        t_hi = min(len(reads[cand.b][1]), len(query) + params.band)
+        target = reads[cand.b][1][:t_hi]
+        queries.append(np.ascontiguousarray(query))
+        targets.append(np.ascontiguousarray(target))
+    with obs.span(names.SPAN_OVERLAP_WAVE, jobs=len(wave)):
+        results = backend.overlap_batch(
+            queries, targets, scoring, w=params.band
+        )
+        retry = [i for i, res in enumerate(results) if not res.optimal]
+        if retry:
+            full = backend.overlap_batch(
+                [queries[i] for i in retry],
+                [targets[i] for i in retry],
+                scoring,
+                w=None,
+            )
+            for i, res in zip(retry, full):
+                results[i] = res
+    retried = set(retry)
+    accepted: list[Overlap] = []
+    for i, (cand, res) in enumerate(zip(wave, results)):
+        if res.t_end < 0 or res.t_end < params.min_overlap:
+            continue
+        qlen = len(queries[i])
+        if res.score < int(params.accept * scoring.match * qlen):
+            continue
+        a_name, a_codes = reads[cand.a]
+        b_name, b_codes = reads[cand.b]
+        accepted.append(
+            Overlap(
+                a_name=a_name,
+                a_len=len(a_codes),
+                a_start=cand.a_start,
+                a_end=len(a_codes),
+                b_name=b_name,
+                b_len=len(b_codes),
+                b_start=0,
+                b_end=res.t_end,
+                score=res.score,
+                band_used=res.band,
+                proved=i not in retried,
+            )
+        )
+    return accepted, len(retried)
+
+
+def write_overlaps(handle, overlaps: list[Overlap]) -> None:
+    """Write the sorted PAF-like TSV, one row per overlap."""
+    for overlap in overlaps:
+        handle.write(overlap.to_line() + "\n")

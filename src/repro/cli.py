@@ -187,6 +187,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the <reads>.truth.tsv sidecar (written by default; "
         "see docs/observability.md)",
     )
+    sim.add_argument(
+        "--long",
+        action="store_true",
+        help="simulate long reads (indel-dominated errors, occasional "
+        "structural variants) instead of short reads",
+    )
+    sim.add_argument(
+        "--long-length",
+        type=int,
+        default=1500,
+        metavar="BP",
+        help="mean long-read length (with --long, default 1500)",
+    )
+    sim.add_argument(
+        "--length-sd",
+        type=float,
+        default=0.0,
+        metavar="BP",
+        help="PBSIM-style length spread: sample per-read lengths from "
+        "a normal around --long-length (0 = fixed length, default)",
+    )
 
     aln = sub.add_parser(
         "align",
@@ -294,6 +315,130 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit one JSON progress line per scheduling window to "
         "stderr (reads done, reads/s, ETA); single-process runs only",
+    )
+
+    lr = sub.add_parser(
+        "longread",
+        help="seed-chain-fill alignment of long reads",
+        parents=[obs_opts, kernel_opts],
+    )
+    lr.add_argument("--reference", required=True)
+    lr.add_argument("--reads", required=True)
+    lr.add_argument("--out", required=True)
+    lr.add_argument(
+        "--engine",
+        choices=("scalar", "batched"),
+        default="batched",
+        help="fill/extension schedule: 'scalar' aligns one read and "
+        "one gap at a time, 'batched' runs three cross-read waves "
+        "(left ends, lockstep gap fills, right ends); output is "
+        "byte-identical either way",
+    )
+    lr.add_argument(
+        "--fill-band",
+        type=int,
+        default=16,
+        metavar="W",
+        help="speculation band of the inter-seed gap fills (default 16)",
+    )
+    lr.add_argument(
+        "--end-band",
+        type=int,
+        default=41,
+        metavar="W",
+        help="band of the checked read-end extensions (default 41)",
+    )
+    lr.add_argument(
+        "--batch-size",
+        type=int,
+        default=512,
+        metavar="N",
+        help="long reads per batched scheduling window (default 512)",
+    )
+    lr.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; >1 shards the reads (default 1)",
+    )
+    lr.add_argument(
+        "--start-method",
+        choices=("fork", "spawn"),
+        default=None,
+        help="multiprocessing start method for worker processes",
+    )
+    lr.add_argument(
+        "--truth",
+        metavar="FILE",
+        help="score the finished SAM against this .truth.tsv sidecar",
+    )
+    lr.add_argument(
+        "--scorecard-out",
+        metavar="FILE",
+        help="write the scorecard as JSON; implies --truth, defaulting "
+        "to the <reads>.truth.tsv sidecar when --truth is omitted",
+    )
+    lr.add_argument(
+        "--truth-tolerance",
+        type=int,
+        default=50,
+        metavar="BASES",
+        help="correct-locus window around the true position (default "
+        "50; long-read ends clip more than short reads)",
+    )
+
+    ovl = sub.add_parser(
+        "overlap",
+        help="all-vs-all suffix-prefix overlap detection",
+        parents=[obs_opts, kernel_opts],
+    )
+    ovl.add_argument("--reads", required=True)
+    ovl.add_argument("--out", required=True)
+    ovl.add_argument(
+        "--k",
+        type=int,
+        default=15,
+        metavar="K",
+        help="k-mer size of the shared-seed candidate filter",
+    )
+    ovl.add_argument(
+        "--min-shared",
+        type=int,
+        default=3,
+        metavar="N",
+        help="shared k-mers (same diagonal) a pair needs to be "
+        "verified (default 3)",
+    )
+    ovl.add_argument(
+        "--min-overlap",
+        type=int,
+        default=50,
+        metavar="BP",
+        help="shortest overlap worth reporting (default 50)",
+    )
+    ovl.add_argument(
+        "--accept",
+        type=float,
+        default=0.5,
+        metavar="FRAC",
+        help="score floor as a fraction of a perfect overlap "
+        "(default 0.5)",
+    )
+    ovl.add_argument(
+        "--band",
+        type=int,
+        default=31,
+        metavar="W",
+        help="verification band; failures rerun at full band, so any "
+        "width yields oracle-equal overlaps (default 31)",
+    )
+    ovl.add_argument(
+        "--batch-size",
+        type=int,
+        default=512,
+        metavar="N",
+        help="overlap jobs per verification wave (default 512)",
     )
 
     sc = sub.add_parser(
@@ -875,6 +1020,92 @@ def _score_after_align(args: argparse.Namespace) -> None:
         print(f"wrote scorecard to {card_out}")
 
 
+def cmd_longread(args: argparse.Namespace) -> int:
+    """Align long reads (seed-chain-fill), write SAM."""
+    from repro.aligner.longread import align_long_sharded
+    from repro.aligner.parallel import EngineSpec, StartMethodError
+
+    name, reference = _load_reference(args.reference)
+    reads = read_fastq(args.reads)
+    if args.batch_size < 1:
+        raise SystemExit("error: --batch-size must be at least 1")
+    if args.workers < 1:
+        raise SystemExit("error: --workers must be at least 1")
+    kernel = _resolve_kernel(args)
+    spec = None
+    if args.engine == "batched":
+        # Full band through the end-extension waves: byte-identical
+        # to the scalar SeedExtender, whose checked results equal the
+        # full-band oracle by the paper's guarantee.
+        spec = EngineSpec(kind="batched", kernel=kernel)
+    encoded = [(r.name, encode(r.sequence)) for r in reads]
+    start = time.perf_counter()
+    try:
+        records = align_long_sharded(
+            reference,
+            encoded,
+            mode=args.engine,
+            spec=spec,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            start_method=args.start_method,
+            fill_band=args.fill_band,
+            end_band=args.end_band,
+            reference_name=name,
+        )
+    except StartMethodError as exc:
+        raise SystemExit(f"error: {exc}")
+    elapsed = time.perf_counter() - start
+    with open(args.out, "w") as handle:
+        write_sam(
+            handle, records, name, len(reference),
+            program_tags=_program_tags(args),
+        )
+    mapped = sum(1 for r in records if not r.is_unmapped)
+    print(
+        f"aligned {len(records)} long reads ({mapped} mapped) in "
+        f"{elapsed:.1f}s with engine {args.engine}"
+    )
+    _score_after_align(args)
+    return 0
+
+
+def cmd_overlap(args: argparse.Namespace) -> int:
+    """Detect all-vs-all overlaps in a FASTQ, write a PAF-like TSV."""
+    from repro.apps.overlap import (
+        OverlapParams,
+        find_overlaps,
+        write_overlaps,
+    )
+
+    reads = read_fastq(args.reads)
+    params = OverlapParams(
+        k=args.k,
+        min_shared=args.min_shared,
+        min_overlap=args.min_overlap,
+        accept=args.accept,
+        band=args.band,
+        batch_size=args.batch_size,
+    )
+    if params.batch_size < 1:
+        raise SystemExit("error: --batch-size must be at least 1")
+    encoded = [(r.name, encode(r.sequence)) for r in reads]
+    start = time.perf_counter()
+    overlaps = find_overlaps(
+        encoded, params, kernel=_resolve_kernel(args)
+    )
+    elapsed = time.perf_counter() - start
+    with open(args.out, "w") as handle:
+        write_overlaps(handle, overlaps)
+    proved = sum(1 for o in overlaps if o.proved)
+    print(
+        f"found {len(overlaps)} overlaps among {len(reads)} reads "
+        f"({proved} proved on band {params.band}, "
+        f"{len(overlaps) - proved} full-band reruns) in {elapsed:.1f}s"
+    )
+    return 0
+
+
 def cmd_score(args: argparse.Namespace) -> int:
     """Grade an existing SAM run against its truth sidecar."""
     from repro.scorecard import TruthError, score_sam
@@ -983,11 +1214,26 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     """
     from repro.scorecard.truth import TruthRecord
 
+    if args.long and args.paired:
+        raise SystemExit("error: --long and --paired are exclusive")
     rng = np.random.default_rng(args.seed)
     reference = synthesize_reference(args.length, rng)
     records: list[FastqRecord] = []
     truth_rows: list[TruthRecord] = []
-    if args.paired:
+    if args.long:
+        from repro.genome.synth import LongReadProfile, simulate_long_reads
+
+        profile = LongReadProfile(
+            read_length=args.long_length, length_sd=args.length_sd
+        )
+        for r in simulate_long_reads(
+            reference, args.reads, rng, profile=profile
+        ):
+            records.append(
+                FastqRecord(r.name, r.sequence, "I" * len(r.codes))
+            )
+            truth_rows.append(TruthRecord.from_read(r))
+    elif args.paired:
         from repro.aligner.paired import simulate_pairs
 
         for pair, pos1, pos2 in simulate_pairs(
@@ -1126,14 +1372,25 @@ def cmd_align(args: argparse.Namespace) -> int:
             )
         paired = PairedAligner(reference, engine, seeding=args.seeding)
         paired.aligner.reference_name = name
-        records = []
-        for first, second in zip(reads[0::2], reads[1::2]):
-            pname = first.name.rstrip("/1")
-            r1, r2 = paired.align_pair(
-                ReadPair(pname, encode(first.sequence),
-                         encode(second.sequence))
+        pairs = [
+            ReadPair(
+                first.name.rstrip("/1"),
+                encode(first.sequence),
+                encode(second.sequence),
             )
-            records.extend([r1, r2])
+            for first, second in zip(reads[0::2], reads[1::2])
+        ]
+        records = []
+        if args.engine == "batched":
+            # Mates and rescue candidates go through cross-pair waves;
+            # records are byte-identical to the per-pair path.
+            for r1, r2 in paired.align_pairs_batched(
+                pairs, engine=engine, batch_size=args.batch_size
+            ):
+                records.extend([r1, r2])
+        else:
+            for pair in pairs:
+                records.extend(paired.align_pair(pair))
         elapsed = time.perf_counter() - start
         with open(args.out, "w") as handle:
             write_sam(
@@ -1741,6 +1998,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "simulate": cmd_simulate,
         "align": cmd_align,
+        "longread": cmd_longread,
+        "overlap": cmd_overlap,
         "analyze": cmd_analyze,
         "score": cmd_score,
         "bench": cmd_bench,

@@ -227,6 +227,7 @@ class LongReadProfile:
     """
 
     read_length: int = 1500
+    length_sd: float = 0.0
     substitution_rate: float = 0.015
     indel_rate: float = 0.02
     indel_max: int = 3
@@ -242,19 +243,34 @@ def simulate_long_reads(
     rng: np.random.Generator,
     profile: LongReadProfile | None = None,
 ) -> list[SimulatedRead]:
-    """Sample long reads with an indel-dominated error model."""
+    """Sample long reads with an indel-dominated error model.
+
+    With ``length_sd > 0`` per-read lengths are drawn PBSIM-style from
+    a normal distribution around ``read_length`` (clamped to
+    ``[300, read_length + 4*length_sd]``); the default ``0.0`` keeps
+    every read exactly ``read_length`` long — and draws nothing from
+    ``rng`` for it, so existing fixed-seed corpora are unchanged.
+    """
     p = profile or LongReadProfile()
-    span = p.read_length + p.sv_max + 64
-    if len(reference) < span:
+    max_len = p.read_length + (
+        int(4 * p.length_sd) if p.length_sd else 0
+    )
+    if len(reference) < max_len + p.sv_max + 64:
         raise ValueError("reference too short for the long-read profile")
     reads = []
     for k in range(count):
+        if p.length_sd:
+            rlen = int(rng.normal(p.read_length, p.length_sd))
+            rlen = max(300, min(max_len, rlen))
+        else:
+            rlen = p.read_length
+        span = rlen + p.sv_max + 64
         pos = int(rng.integers(0, len(reference) - span))
         fragment = [int(b) for b in reference[pos : pos + span]]
         subs = ins = dels = 0
         if rng.random() < p.sv_rate:
             size = int(rng.integers(p.sv_min, p.sv_max + 1))
-            at = int(rng.integers(64, p.read_length - 64))
+            at = int(rng.integers(64, rlen - 64))
             if rng.random() < 0.5:
                 del fragment[at : at + size]
                 dels += size
@@ -263,7 +279,7 @@ def simulate_long_reads(
                     int(b) for b in random_sequence(size, rng)
                 ]
                 ins += size
-        n_indels = int(rng.binomial(p.read_length, p.indel_rate))
+        n_indels = int(rng.binomial(rlen, p.indel_rate))
         for _ in range(n_indels):
             size = int(rng.integers(1, p.indel_max + 1))
             at = int(rng.integers(1, max(2, len(fragment) - size - 1)))
@@ -275,10 +291,10 @@ def simulate_long_reads(
                     int(b) for b in random_sequence(size, rng)
                 ]
                 ins += size
-        read = np.array(fragment[: p.read_length], dtype=np.uint8)
-        n_subs = int(rng.binomial(p.read_length, p.substitution_rate))
+        read = np.array(fragment[:rlen], dtype=np.uint8)
+        n_subs = int(rng.binomial(rlen, p.substitution_rate))
         if n_subs:
-            sites = rng.choice(p.read_length, size=n_subs, replace=False)
+            sites = rng.choice(rlen, size=n_subs, replace=False)
             shift = rng.integers(1, 4, size=n_subs)
             read[sites] = (read[sites] + shift) % 4
             subs += n_subs
@@ -294,6 +310,50 @@ def simulate_long_reads(
                 substitutions=subs,
                 insertions=ins,
                 deletions=dels,
+            )
+        )
+    return reads
+
+
+def fragment_corpus(
+    reference: np.ndarray,
+    rng: np.random.Generator,
+    length: int = 300,
+    step: int = 200,
+    substitution_rate: float = 0.01,
+    count: int | None = None,
+) -> list[SimulatedRead]:
+    """Shear a reference into tiling fragments with known overlaps.
+
+    Consecutive fragments start ``step`` apart, so each overlaps the
+    next by ``length - step`` bases — ground truth for the all-vs-all
+    overlap detector (:mod:`repro.apps.overlap`): fragment ``i``'s
+    suffix must be reported against fragment ``i+1``'s prefix, and the
+    true overlap span follows from the ``true_pos`` fields.  Errors
+    are substitution-only so overlap lengths stay exact.
+    """
+    if not 0 < step < length:
+        raise ValueError("need 0 < step < length for overlapping tiles")
+    starts = list(range(0, max(1, len(reference) - length + 1), step))
+    if count is not None:
+        starts = starts[:count]
+    reads: list[SimulatedRead] = []
+    for k, pos in enumerate(starts):
+        frag = reference[pos : pos + length].copy()
+        n_subs = int(rng.binomial(len(frag), substitution_rate))
+        if n_subs:
+            sites = rng.choice(len(frag), size=n_subs, replace=False)
+            shift = rng.integers(1, 4, size=n_subs)
+            frag[sites] = (frag[sites] + shift) % 4
+        reads.append(
+            SimulatedRead(
+                name=f"frag{k:05d}",
+                codes=frag,
+                true_pos=pos,
+                reverse=False,
+                substitutions=n_subs,
+                insertions=0,
+                deletions=0,
             )
         )
     return reads

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.align.banded import BatchShapeError, ExtensionResult
 from repro.align.editdp import LeftEntryScores
+from repro.align.overlapdp import OverlapResult
 from repro.align.scoring import AffineGap
 from repro.core.thresholds import Thresholds
 from repro.kernels.scalar import ScalarKernel
@@ -73,6 +74,26 @@ class KernelBackend(Protocol):
         w: int | None = None,
     ) -> list[ExtensionResult]:
         """Run a batch of extension jobs, results in input order."""
+        ...
+
+    def overlap(
+        self,
+        query: np.ndarray,
+        target: np.ndarray,
+        scoring: AffineGap,
+        w: int | None = None,
+    ) -> OverlapResult:
+        """Run one banded suffix-prefix overlap fill."""
+        ...
+
+    def overlap_batch(
+        self,
+        queries: list[np.ndarray],
+        targets: list[np.ndarray],
+        scoring: AffineGap,
+        w: int | None = None,
+    ) -> list[OverlapResult]:
+        """Run a batch of overlap fills, results in input order."""
         ...
 
     def left_entry(
@@ -138,6 +159,7 @@ __all__ = [
     "KERNEL_ENV_VAR",
     "BatchShapeError",
     "KernelBackend",
+    "OverlapResult",
     "ScalarKernel",
     "StripedKernel",
     "WavefrontKernel",

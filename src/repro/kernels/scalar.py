@@ -14,9 +14,10 @@ from typing import Callable
 
 import numpy as np
 
-from repro.align import banded, batchdp, editdp
+from repro.align import banded, batchdp, editdp, overlapdp
 from repro.align.banded import ExtensionResult
 from repro.align.editdp import LeftEntryScores
+from repro.align.overlapdp import OverlapResult
 from repro.align.scoring import AffineGap
 from repro.core.thresholds import Thresholds, semiglobal_thresholds
 
@@ -47,6 +48,31 @@ class ScalarKernel:
     ) -> list[ExtensionResult]:
         """A batch of extensions through the row-lockstep kernel."""
         return batchdp.extend_batch(queries, targets, h0s, scoring, w=w)
+
+    def overlap(
+        self,
+        query: np.ndarray,
+        target: np.ndarray,
+        scoring: AffineGap,
+        w: int | None = None,
+    ) -> OverlapResult:
+        """One banded suffix-prefix overlap fill (reference form)."""
+        return overlapdp.overlap_scalar(query, target, scoring, w=w)
+
+    def overlap_batch(
+        self,
+        queries: list[np.ndarray],
+        targets: list[np.ndarray],
+        scoring: AffineGap,
+        w: int | None = None,
+    ) -> list[OverlapResult]:
+        """A batch of overlap fills, one job at a time."""
+        if len(queries) != len(targets):
+            raise ValueError("queries and targets must align")
+        return [
+            overlapdp.overlap_scalar(q, t, scoring, w=w)
+            for q, t in zip(queries, targets)
+        ]
 
     def left_entry(
         self,

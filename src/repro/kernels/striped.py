@@ -731,6 +731,34 @@ class StripedKernel:
         """A shape-bucketed batch of extensions in lockstep."""
         return extend_batch(queries, targets, h0s, scoring, w=w)
 
+    def overlap(
+        self,
+        query: np.ndarray,
+        target: np.ndarray,
+        scoring: AffineGap,
+        w: int | None = None,
+    ):
+        """One banded overlap fill (the lockstep kernel with n = 1)."""
+        from repro.align import overlapdp
+
+        return overlapdp.overlap_batch_lockstep(
+            [np.asarray(query)], [np.asarray(target)], scoring, w=w
+        )[0]
+
+    def overlap_batch(
+        self,
+        queries: list[np.ndarray],
+        targets: list[np.ndarray],
+        scoring: AffineGap,
+        w: int | None = None,
+    ):
+        """A shape-bucketed batch of overlap fills in lockstep."""
+        from repro.align import overlapdp
+
+        return overlapdp.overlap_batch_lockstep(
+            queries, targets, scoring, w=w
+        )
+
     def left_entry(
         self,
         query: np.ndarray,

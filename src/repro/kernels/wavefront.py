@@ -527,6 +527,35 @@ class WavefrontKernel:
         """A batch of extensions fused across jobs x diagonal slots."""
         return extend_batch(queries, targets, h0s, scoring, w=w)
 
+    def overlap(
+        self,
+        query: np.ndarray,
+        target: np.ndarray,
+        scoring: AffineGap,
+        w: int | None = None,
+    ):
+        """One banded suffix-prefix overlap fill (row-vectorized)."""
+        from repro.align import overlapdp
+
+        return overlapdp.overlap_band(query, target, scoring, w=w)
+
+    def overlap_batch(
+        self,
+        queries: list[np.ndarray],
+        targets: list[np.ndarray],
+        scoring: AffineGap,
+        w: int | None = None,
+    ):
+        """A batch of overlap fills, row-vectorized per job."""
+        from repro.align import overlapdp
+
+        if len(queries) != len(targets):
+            raise ValueError("queries and targets must align")
+        return [
+            overlapdp.overlap_band(q, t, scoring, w=w)
+            for q, t in zip(queries, targets)
+        ]
+
     def left_entry(
         self,
         query: np.ndarray,

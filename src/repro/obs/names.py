@@ -65,6 +65,18 @@ SPAN_PIPELINE_WINDOW = "pipeline.batch.window"
 SPAN_PIPELINE_WAVE = "pipeline.batch.wave"
 """One lockstep extension wave (labels: ``side``, ``jobs``)."""
 
+SPAN_PIPELINE_LONGREAD_WINDOW = "pipeline.longread.window"
+"""One window of long reads through the three-wave scheduler."""
+
+SPAN_PIPELINE_LONGREAD_FILL_WAVE = "pipeline.longread.fill.wave"
+"""One cross-read lockstep gap-fill ladder (labels: ``jobs``)."""
+
+SPAN_OVERLAP_RUN = "overlap.run"
+"""One all-vs-all overlap detection run (candidates + verification)."""
+
+SPAN_OVERLAP_WAVE = "overlap.verify.wave"
+"""One batched overlap-verification wave (labels: ``jobs``)."""
+
 SPAN_INDEX_BUILD = "index.build"
 """Building one persistent index artifact (SA + FM + k-mer + write)."""
 
@@ -168,6 +180,30 @@ PIPELINE_READS_QUARANTINED = "pipeline.reads.quarantined"
 
 PIPELINE_INPUT_BAD_RECORDS = "pipeline.input.bad_records"
 """Malformed FASTQ records skipped under ``--on-bad-record quarantine``."""
+
+PIPELINE_LONGREAD_READS = "pipeline.longread.reads"
+"""Long reads entering the batched three-wave scheduler."""
+
+PIPELINE_LONGREAD_FILL_JOBS = "pipeline.longread.fill.jobs"
+"""Inter-seed gap fills dispatched through the lockstep ladder."""
+
+PIPELINE_LONGREAD_FILL_ESCALATIONS = "pipeline.longread.fill.escalations"
+"""Gap fills whose narrow band failed the check and climbed the ladder."""
+
+OVERLAP_CANDIDATES_TOTAL = "overlap.candidates.total"
+"""Read pairs the shared-seed pre-filter promoted to verification."""
+
+OVERLAP_ACCEPTED_TOTAL = "overlap.accepted.total"
+"""Verified overlaps that met the acceptance threshold."""
+
+OVERLAP_RERUNS_TOTAL = "overlap.reruns.total"
+"""Overlap jobs rerun at full band after failing the edge bound."""
+
+PAIRED_RESCUE_WAVES = "paired.rescue.waves"
+"""Mate-rescue extension waves dispatched by the batched paired path."""
+
+PAIRED_RESCUE_JOBS = "paired.rescue.jobs"
+"""Mate-rescue candidate extensions entering a rescue wave."""
 
 RESILIENCE_BREAKER_TRANSITIONS = "resilience.breaker.transitions"
 """Circuit-breaker state changes (labels: ``to``)."""

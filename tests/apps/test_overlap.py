@@ -1,0 +1,174 @@
+"""Unit tests for the all-vs-all overlap driver.
+
+The kernel-level DP is swept in ``tests/align`` and conformance-tested
+in ``tests/kernels``; these tests pin the *driver*: k-mer indexing and
+its repeat guard, diagonal voting and its tie-breaks, the accept
+thresholds, and the two-stage speculate-and-test verification the
+emitted TSV records.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.apps.overlap import (
+    OverlapParams,
+    _index_reads,
+    _vote_candidates,
+    find_overlaps,
+    write_overlaps,
+)
+from repro.genome.sequence import encode
+from repro.genome.synth import fragment_corpus, synthesize_reference
+
+
+def _reads(*seqs):
+    return [(f"r{k}", encode(s)) for k, s in enumerate(seqs)]
+
+
+@pytest.fixture(scope="module")
+def tiling():
+    rng = np.random.default_rng(23)
+    reference = synthesize_reference(3_000, rng)
+    frags = fragment_corpus(
+        reference, rng, length=250, step=180, substitution_rate=0.01
+    )
+    return [(f.name, f.codes) for f in frags]
+
+
+class TestIndex:
+    def test_positions_recorded(self):
+        reads = _reads("ACGTACGTACGT")
+        params = OverlapParams(k=8)
+        table = _index_reads(reads, params)
+        hits = [hit for hits in table.values() for hit in hits]
+        # 5 k-mers of length 8 in a 12-mer; all from read 0.
+        assert len(hits) == 5
+        assert all(idx == 0 for idx, _ in hits)
+
+    def test_ambiguous_kmers_skipped(self):
+        reads = _reads("ACGTNACGTACG")
+        table = _index_reads(reads, OverlapParams(k=8))
+        positions = {pos for hits in table.values() for _, pos in hits}
+        # Windows 0..4 all contain the N at index 4.
+        assert positions.isdisjoint(set(range(0, 5)) - {0})
+        assert all(pos == 0 or pos >= 5 for pos in positions)
+
+    def test_repeat_guard_drops_hot_kmers(self):
+        reads = _reads(*("A" * 30 for _ in range(5)))
+        table = _index_reads(reads, OverlapParams(k=15, max_occurrences=4))
+        assert table == {}
+
+    def test_short_reads_skipped(self):
+        reads = _reads("ACG")
+        assert _index_reads(reads, OverlapParams(k=15)) == {}
+
+
+class TestVoting:
+    def _candidates(self, reads, **kw):
+        params = OverlapParams(**{"k": 8, "min_shared": 2,
+                                  "min_overlap": 10, **kw})
+        table = _index_reads(reads, params)
+        return params, _vote_candidates(reads, table, params)
+
+    def test_suffix_prefix_pair_voted(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 4, size=60).astype(np.uint8)
+        b = np.concatenate([a[30:], rng.integers(0, 4, size=30)]).astype(
+            np.uint8
+        )
+        reads = [("A", a), ("B", b)]
+        _, cands = self._candidates(reads)
+        pair = {(c.a, c.b): c for c in cands}
+        assert (0, 1) in pair
+        assert pair[(0, 1)].a_start == 30
+
+    def test_min_overlap_filters_short_diagonals(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 4, size=60).astype(np.uint8)
+        b = np.concatenate([a[48:], rng.integers(0, 4, size=40)]).astype(
+            np.uint8
+        )
+        reads = [("A", a), ("B", b)]
+        _, cands = self._candidates(reads, min_overlap=30)
+        assert all((c.a, c.b) != (0, 1) for c in cands)
+
+    def test_min_shared_filters_chance_hits(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 4, size=40).astype(np.uint8)
+        b = rng.integers(0, 4, size=40).astype(np.uint8)
+        reads = [("A", a), ("B", b)]
+        _, cands = self._candidates(reads, min_shared=3)
+        assert cands == []
+
+
+class TestFindOverlaps:
+    def test_adjacent_fragments_all_found(self, tiling):
+        overlaps = find_overlaps(tiling, OverlapParams(min_overlap=50))
+        found = {(o.a_name, o.b_name) for o in overlaps}
+        for k in range(len(tiling) - 1):
+            assert (f"frag{k:05d}", f"frag{k + 1:05d}") in found
+        for o in overlaps:
+            assert o.a_end == o.a_len
+            assert o.b_start == 0
+            assert o.b_end >= 50
+            assert o.score > 0
+
+    def test_output_is_sorted_and_stable_across_batch_sizes(self, tiling):
+        base = find_overlaps(tiling, OverlapParams(min_overlap=50))
+        keys = [(o.a_name, o.b_name, o.a_start) for o in base]
+        assert keys == sorted(keys)
+        small = find_overlaps(
+            tiling, OverlapParams(min_overlap=50, batch_size=3)
+        )
+        assert small == base
+
+    def test_band_only_moves_verdict_columns(self, tiling):
+        """Narrow bands rerun more but never change what is reported —
+        the guarantee the PAF consumer relies on."""
+        wide = find_overlaps(tiling, OverlapParams(min_overlap=50, band=64))
+        narrow = find_overlaps(tiling, OverlapParams(min_overlap=50, band=4))
+        def core(o):
+            return (o.a_name, o.a_start, o.b_name, o.b_end, o.score)
+        assert [core(o) for o in narrow] == [core(o) for o in wide]
+
+    def test_accept_floor_filters_weak_overlaps(self, tiling):
+        permissive = find_overlaps(
+            tiling, OverlapParams(min_overlap=50, accept=0.1)
+        )
+        strict = find_overlaps(
+            tiling, OverlapParams(min_overlap=50, accept=0.95)
+        )
+        assert len(strict) <= len(permissive)
+        for o in strict:
+            qlen = o.a_len - o.a_start
+            assert o.score >= int(0.95 * qlen)
+
+    def test_counters_emitted(self, tiling):
+        obs.reset()
+        obs.enable()
+        try:
+            find_overlaps(tiling[:6], OverlapParams(min_overlap=50))
+            snap = obs.get_registry().snapshot()
+            assert snap["counters"]["overlap.candidates.total"] >= 5
+            assert snap["counters"]["overlap.accepted.total"] >= 5
+            assert "overlap.run.seconds" in snap["histograms"]
+            assert any(
+                key.startswith("overlap.verify.wave.seconds")
+                for key in snap["histograms"]
+            )
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_write_overlaps_tsv_shape(self, tiling):
+        overlaps = find_overlaps(tiling[:4], OverlapParams(min_overlap=50))
+        buf = io.StringIO()
+        write_overlaps(buf, overlaps)
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == len(overlaps)
+        assert all(len(line.split("\t")) == 12 for line in lines)

@@ -114,3 +114,91 @@ class TestExtensionCorpus:
             if res.gscore > job.h0 + len(job.query) // 2:
                 good += 1
         assert good > 25
+
+
+class TestLongReadLengthSpread:
+    def _reads(self, sd, seed=21):
+        from repro.genome.synth import LongReadProfile, simulate_long_reads
+
+        rng = np.random.default_rng(seed)
+        ref = synthesize_reference(30_000, rng)
+        profile = LongReadProfile(read_length=1000, length_sd=sd)
+        return simulate_long_reads(ref, 12, rng, profile)
+
+    def test_zero_sd_keeps_fixed_lengths(self):
+        reads = self._reads(0.0)
+        # Indel errors move individual lengths a little, but the
+        # sampled fragment is always exactly read_length.
+        assert all(abs(len(r.codes) - 1000) < 120 for r in reads)
+
+    def test_zero_sd_preserves_legacy_rng_stream(self):
+        """``length_sd=0`` must not draw from the rng at all — seeded
+        corpora generated before the knob existed stay bit-identical."""
+        from repro.genome.synth import LongReadProfile, simulate_long_reads
+
+        rng1 = np.random.default_rng(33)
+        ref1 = synthesize_reference(30_000, rng1)
+        legacy = simulate_long_reads(ref1, 6, rng1)
+        rng2 = np.random.default_rng(33)
+        ref2 = synthesize_reference(30_000, rng2)
+        explicit = simulate_long_reads(
+            ref2, 6, rng2, LongReadProfile(length_sd=0.0)
+        )
+        assert len(legacy) == len(explicit)
+        for a, b in zip(legacy, explicit):
+            assert a.true_pos == b.true_pos
+            np.testing.assert_array_equal(a.codes, b.codes)
+
+    def test_positive_sd_spreads_lengths(self):
+        reads = self._reads(300.0)
+        lengths = [len(r.codes) for r in reads]
+        assert max(lengths) - min(lengths) > 200
+        assert all(n >= 250 for n in lengths)  # floor at 300 pre-indel
+
+    def test_deterministic_given_seed(self):
+        a = self._reads(250.0, seed=8)
+        b = self._reads(250.0, seed=8)
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.codes, rb.codes)
+
+
+class TestFragmentCorpus:
+    def _frags(self, **kw):
+        from repro.genome.synth import fragment_corpus
+
+        rng = np.random.default_rng(13)
+        ref = synthesize_reference(5_000, rng)
+        return ref, fragment_corpus(ref, rng, **kw)
+
+    def test_tiling_geometry(self):
+        ref, frags = self._frags(length=300, step=220)
+        assert len(frags) == (len(ref) - 300) // 220 + 1
+        for k, frag in enumerate(frags):
+            assert frag.true_pos == k * 220
+            assert len(frag.codes) == 300
+            assert frag.name == f"frag{k:05d}"
+
+    def test_fragments_match_reference_closely(self):
+        ref, frags = self._frags(
+            length=300, step=220, substitution_rate=0.01
+        )
+        for frag in frags:
+            window = ref[frag.true_pos : frag.true_pos + 300]
+            mismatches = int((frag.codes != window).sum())
+            assert mismatches <= 12
+
+    def test_count_caps_fragments(self):
+        _, frags = self._frags(length=300, step=220, count=3)
+        assert len(frags) == 3
+
+    def test_bad_step_rejected(self):
+        import pytest as _pytest
+
+        from repro.genome.synth import fragment_corpus
+
+        rng = np.random.default_rng(0)
+        ref = synthesize_reference(2_000, rng)
+        with _pytest.raises(ValueError):
+            fragment_corpus(ref, rng, length=200, step=0)
+        with _pytest.raises(ValueError):
+            fragment_corpus(ref, rng, length=200, step=250)

@@ -59,6 +59,98 @@ def test_striped_matches_scalar_sharded_batched(corpus):
     assert mapped > 400
 
 
+@pytest.fixture(scope="module")
+def long_corpus():
+    from repro.genome.synth import LongReadProfile, simulate_long_reads
+
+    rng = np.random.default_rng(20260809)
+    reference = synthesize_reference(40_000, rng, repeat_fraction=0.02)
+    profile = LongReadProfile(read_length=1200, length_sd=250)
+    reads = [
+        (r.name, r.codes)
+        for r in simulate_long_reads(reference, 24, rng, profile)
+    ]
+    return reference, reads
+
+
+def _longread_lines(reference, reads, mode, kernel=None, workers=1):
+    from repro.aligner.longread import align_long_sharded
+
+    spec = None
+    if mode == "batched":
+        spec = EngineSpec(kind="batched", kernel=kernel)
+    records = align_long_sharded(
+        reference,
+        reads,
+        mode=mode,
+        spec=spec,
+        workers=workers,
+        batch_size=8,
+    )
+    return [rec.to_line() for rec in records]
+
+
+@pytest.mark.parametrize("kernel", ("scalar", "numpy", "striped"))
+@pytest.mark.parametrize("workers", (1, 2))
+def test_longread_batched_matches_scalar(long_corpus, kernel, workers):
+    """Long-read waves: batched SAM lines equal the scalar path's,
+    for every kernel backend, sharded or not."""
+    reference, reads = long_corpus
+    scalar = _longread_lines(reference, reads, "scalar")
+    batched = _longread_lines(
+        reference, reads, "batched", kernel=kernel, workers=workers
+    )
+    assert batched == scalar
+    mapped = sum(1 for line in scalar if "\t4\t" not in line[:40])
+    assert mapped >= 20
+
+
+def test_paired_batched_matches_scalar(corpus):
+    """Batched mate rescue emits the scalar loop's records, bit for
+    bit, on every kernel — including the rescued pairs."""
+    from repro.aligner.engines import BatchedEngine
+    from repro.aligner.paired import (
+        PairedAligner,
+        ReadPair,
+        simulate_pairs,
+    )
+
+    reference, _ = corpus
+    rng = np.random.default_rng(97)
+    sims = simulate_pairs(reference, 60, rng)
+    pairs = [pair for pair, _, _ in sims]
+    # Corrupt some second mates with a substitution every 16 bases:
+    # no clean 19-mer survives (seeding fails, the mate goes
+    # unmapped) but clean 12-mers between the planted sites still
+    # anchor the rescue probes — the rescue path has to engage for
+    # the comparison to cover it.
+    for i in (3, 7, 19, 33):
+        second = pairs[i].second.copy()
+        second[::16] = (second[::16] + 1) % 4
+        pairs[i] = ReadPair(pairs[i].name, pairs[i].first, second)
+
+    scalar = PairedAligner(reference, SeedExEngine(band=BAND))
+    want = [
+        (a.to_line(), b.to_line())
+        for a, b in scalar.align_pairs(pairs)
+    ]
+    want_stats = scalar.stats
+    assert want_stats.rescued >= 1
+
+    for kernel in ("scalar", "numpy", "striped"):
+        batched = PairedAligner(reference, SeedExEngine(band=BAND))
+        got = [
+            (a.to_line(), b.to_line())
+            for a, b in batched.align_pairs_batched(
+                pairs, engine=BatchedEngine(kernel=kernel), batch_size=16
+            )
+        ]
+        assert got == want
+        assert batched.stats.pairs == want_stats.pairs
+        assert batched.stats.proper == want_stats.proper
+        assert batched.stats.rescued == want_stats.rescued
+
+
 @pytest.mark.chaos
 def test_striped_chaos_bit_identity(corpus):
     """1% injected faults on the striped path still yield the clean

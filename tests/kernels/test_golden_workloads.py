@@ -1,0 +1,166 @@
+"""Golden workload regression: overlap TSV and long-read SAM bytes.
+
+``tests/fixtures/`` holds a 12 kb reference (seed 4242), a 16-read
+long-read corpus simulated from it, and a 54-fragment tiling corpus
+sheared from the same reference — plus the overlap TSV and long-read
+SAM those inputs must produce on *every* kernel backend.  The
+expected SAM is stored without the ``@PG`` header line (the kernel
+name it records is the one byte-level difference configurations are
+allowed); the TSV carries no header at all and must match exactly.
+
+Regenerate after an intentional output change with::
+
+    python -m repro.cli simulate --length 12000 --reads 16 --seed 4242 \
+        --long --long-length 1100 --length-sd 200 --no-truth \
+        --out-reference tests/fixtures/longread_ref.fa \
+        --out-reads tests/fixtures/longread_reads.fq
+    python -m repro.cli longread \
+        --reference tests/fixtures/longread_ref.fa \
+        --reads tests/fixtures/longread_reads.fq \
+        --out /tmp/longread.sam --engine batched --kernel scalar
+    grep -v '^@PG' /tmp/longread.sam > tests/fixtures/golden_longread.sam
+
+and for the overlap side (the fragment corpus shears the committed
+reference deterministically)::
+
+    python - <<'PY'
+    import numpy as np
+    from repro.genome.io_fasta import FastqRecord, read_fasta, write_fastq
+    from repro.genome.sequence import decode, encode
+    from repro.genome.synth import fragment_corpus
+    ref = encode(read_fasta("tests/fixtures/longread_ref.fa")[0].sequence)
+    frags = fragment_corpus(
+        ref, np.random.default_rng(4242), length=300, step=220,
+        substitution_rate=0.01,
+    )
+    with open("tests/fixtures/overlap_reads.fq", "w") as fh:
+        write_fastq(fh, [
+            FastqRecord(f.name, decode(f.codes), "I" * len(f.codes))
+            for f in frags
+        ])
+    PY
+    python -m repro.cli overlap --reads tests/fixtures/overlap_reads.fq \
+        --out tests/fixtures/golden_overlap.tsv --kernel scalar
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import cli
+
+FIXTURES = pathlib.Path(__file__).parent.parent / "fixtures"
+REFERENCE = FIXTURES / "longread_ref.fa"
+LONG_READS = FIXTURES / "longread_reads.fq"
+OVERLAP_READS = FIXTURES / "overlap_reads.fq"
+EXPECTED_SAM = FIXTURES / "golden_longread.sam"
+EXPECTED_TSV = FIXTURES / "golden_overlap.tsv"
+
+KERNELS = ("scalar", "numpy", "striped")
+
+
+def _strip_pg(text: str) -> str:
+    return "".join(
+        line
+        for line in text.splitlines(keepends=True)
+        if not line.startswith("@PG")
+    )
+
+
+def _run_longread(tmp_path, *extra: str) -> str:
+    out = tmp_path / "out.sam"
+    code = cli.main(
+        [
+            "longread",
+            "--reference", str(REFERENCE),
+            "--reads", str(LONG_READS),
+            "--out", str(out),
+            *extra,
+        ]
+    )
+    assert code == 0
+    return out.read_text()
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_golden_longread_batched_per_kernel(tmp_path, kernel):
+    text = _run_longread(
+        tmp_path, "--engine", "batched", "--kernel", kernel
+    )
+    assert _strip_pg(text) == EXPECTED_SAM.read_text()
+
+
+def test_golden_longread_scalar_engine(tmp_path):
+    """The scalar (per-read, per-gap) schedule hits the same bytes —
+    the cross-engine identity the batched waves promise."""
+    text = _run_longread(tmp_path, "--engine", "scalar")
+    assert _strip_pg(text) == EXPECTED_SAM.read_text()
+
+
+def test_golden_longread_sharded(tmp_path):
+    text = _run_longread(
+        tmp_path,
+        "--engine", "batched",
+        "--kernel", "striped",
+        "--workers", "2",
+    )
+    assert _strip_pg(text) == EXPECTED_SAM.read_text()
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_golden_overlap_per_kernel(tmp_path, kernel):
+    out = tmp_path / "out.tsv"
+    code = cli.main(
+        [
+            "overlap",
+            "--reads", str(OVERLAP_READS),
+            "--out", str(out),
+            "--kernel", kernel,
+        ]
+    )
+    assert code == 0
+    assert out.read_text() == EXPECTED_TSV.read_text()
+
+
+def test_golden_overlap_band_independent(tmp_path):
+    """A much narrower verification band reruns more jobs but reports
+    the same overlaps — the speculate-and-test contract, end to end.
+    Only the band column (field 11) and the proved/rerun verdict
+    (field 12) may move."""
+    out = tmp_path / "out.tsv"
+    code = cli.main(
+        [
+            "overlap",
+            "--reads", str(OVERLAP_READS),
+            "--out", str(out),
+            "--band", "8",
+            "--kernel", "striped",
+        ]
+    )
+    assert code == 0
+    got = [line.split("\t")[:10] for line in out.read_text().splitlines()]
+    want = [
+        line.split("\t")[:10]
+        for line in EXPECTED_TSV.read_text().splitlines()
+    ]
+    assert got == want
+
+
+def test_golden_overlap_content_sane():
+    """The fixture itself: adjacent tiling fragments all overlap by
+    ~80 bp, and at least one job exercised the full-band rerun."""
+    rows = [
+        line.split("\t")
+        for line in EXPECTED_TSV.read_text().splitlines()
+    ]
+    assert len(rows) >= 50
+    adjacent = {
+        (r[0], r[5])
+        for r in rows
+        if int(r[5][4:]) == int(r[0][4:]) + 1
+    }
+    assert len(adjacent) >= 50
+    assert any(r[11] == "rerun" for r in rows)
+    assert all(r[4] == "+" for r in rows)

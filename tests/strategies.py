@@ -240,6 +240,169 @@ def _batch_job(draw) -> tuple[np.ndarray, np.ndarray, int]:
     )
 
 
+@dataclass(frozen=True)
+class OverlapPair:
+    """One suffix-prefix overlap job plus its verification band."""
+
+    query: np.ndarray
+    target: np.ndarray
+    scoring: AffineGap
+    band: int | None
+
+
+@st.composite
+def overlap_pairs(draw, max_len: int = 36) -> OverlapPair:
+    """Overlap jobs biased toward the dovetail geometry's edges.
+
+    Beyond generic pairs the structured draws cover: containment (the
+    query sits strictly inside the target, so the best end leaves a
+    real overhang), zero-overhang dovetails (query == target, the end
+    lands on the corner), empty sequences on either side, all-N pairs
+    (nothing ever matches, the whole matrix is gap arithmetic), and
+    pairs whose length difference straddles the band exactly — where
+    the last-column capture window ``|i - qlen| <= w`` degenerates.
+    """
+    shape = draw(
+        st.sampled_from(
+            ("generic", "generic", "generic", "containment",
+             "zero_overhang", "empty", "all_n", "band_edge")
+        )
+    )
+    scoring = draw(scoring_configs())
+    band = draw(st.one_of(st.none(), bands()))
+    if shape == "containment":
+        inner = draw(sequences(min_size=1, max_size=max_len // 2))
+        pad = draw(sequences(min_size=1, max_size=8))
+        tail = draw(sequences(min_size=1, max_size=8))
+        query = inner
+        target = np.concatenate([pad, inner, tail]).astype(np.uint8)
+    elif shape == "zero_overhang":
+        query = draw(sequences(min_size=1, max_size=max_len))
+        target = query.copy()
+    elif shape == "empty":
+        which = draw(st.sampled_from(("query", "target", "both")))
+        query = (
+            np.zeros(0, dtype=np.uint8)
+            if which in ("query", "both")
+            else draw(sequences(min_size=1, max_size=12))
+        )
+        target = (
+            np.zeros(0, dtype=np.uint8)
+            if which in ("target", "both")
+            else draw(sequences(min_size=1, max_size=12))
+        )
+    elif shape == "all_n":
+        qlen = draw(st.integers(0, max_len))
+        tlen = draw(st.integers(0, max_len))
+        query = np.full(qlen, AMBIGUOUS_CODE, dtype=np.uint8)
+        target = np.full(tlen, AMBIGUOUS_CODE, dtype=np.uint8)
+    elif shape == "band_edge":
+        w = draw(bands())
+        band = w
+        qlen = draw(st.integers(1, max_len))
+        delta = w + draw(st.integers(-1, 1))
+        if draw(st.booleans()):
+            tlen = qlen + delta
+        else:
+            tlen = max(0, qlen - delta)
+        query = draw(sequences(min_size=qlen, max_size=qlen))
+        target = draw(sequences(min_size=tlen, max_size=tlen))
+    else:
+        query = draw(sequences(min_size=0, max_size=max_len))
+        target = draw(sequences(min_size=0, max_size=max_len + 8))
+    return OverlapPair(query, target, scoring, band)
+
+
+@dataclass(frozen=True)
+class GapBatch:
+    """One wave of global gap-fill jobs sharing a scoring and band."""
+
+    queries: list[np.ndarray]
+    targets: list[np.ndarray]
+    scoring: AffineGap
+    band: int | None
+
+
+@st.composite
+def gap_job_batches(draw, max_jobs: int = 6) -> GapBatch:
+    """Gap-fill waves biased toward the lockstep bucketing hazards.
+
+    The structured draws cover the empty wave, all-identical jobs (one
+    bucket, no ragged padding), both-sides-empty gaps and one-sided
+    gaps (pure insertion/deletion fills, where the corner lives on a
+    matrix edge), and — the important one — heterogeneous-clamp waves:
+    jobs sharing a shape bucket whose ``max(w, |tlen - qlen|)`` clamps
+    differ wildly, the geometry where an unmasked lockstep F-scan
+    leaks a wide bucket-mate's cells into a narrow job's band.
+    """
+    kind = draw(
+        st.sampled_from(
+            ("mixed", "mixed", "mixed", "empty_batch", "identical",
+             "degenerate", "hetero_clamp")
+        )
+    )
+    scoring = draw(scoring_configs())
+    band = draw(st.one_of(st.none(), bands()))
+    if kind == "empty_batch":
+        return GapBatch([], [], scoring, band)
+    if kind == "identical":
+        q = draw(sequences(max_size=24))
+        t = draw(sequences(max_size=24))
+        n = draw(st.integers(2, max_jobs))
+        jobs = [(q.copy(), t.copy()) for _ in range(n)]
+    elif kind == "degenerate":
+        jobs = []
+        for _ in range(draw(st.integers(1, max_jobs))):
+            side = draw(
+                st.sampled_from(("both_empty", "ins_only", "del_only"))
+            )
+            if side == "both_empty":
+                jobs.append(
+                    (np.zeros(0, dtype=np.uint8),
+                     np.zeros(0, dtype=np.uint8))
+                )
+            elif side == "ins_only":
+                jobs.append(
+                    (draw(sequences(min_size=1, max_size=20)),
+                     np.zeros(0, dtype=np.uint8))
+                )
+            else:
+                jobs.append(
+                    (np.zeros(0, dtype=np.uint8),
+                     draw(sequences(min_size=1, max_size=20)))
+                )
+    elif kind == "hetero_clamp":
+        # Same shape bucket (every length <= 16 pads to class 16) but
+        # clamps far apart: one near-square job rides the requested
+        # band while a skewed bucket-mate's |tlen - qlen| forces a
+        # much wider sweep over the shared padded columns.
+        band = draw(st.integers(1, 4))
+        square = draw(st.integers(8, 16))
+        skew_t = draw(st.integers(10, 16))
+        skew_q = draw(st.integers(0, 3))
+        jobs = [
+            (draw(sequences(min_size=square, max_size=square)),
+             draw(sequences(min_size=square, max_size=square))),
+            (draw(sequences(min_size=skew_q, max_size=skew_q)),
+             draw(sequences(min_size=skew_t, max_size=skew_t))),
+        ]
+        if draw(st.booleans()):
+            extra_q = draw(st.integers(10, 16))
+            extra_t = draw(st.integers(0, 3))
+            jobs.append(
+                (draw(sequences(min_size=extra_q, max_size=extra_q)),
+                 draw(sequences(min_size=extra_t, max_size=extra_t)))
+            )
+    else:
+        jobs = [
+            (draw(sequences(max_size=30)), draw(sequences(max_size=30)))
+            for _ in range(draw(st.integers(1, max_jobs)))
+        ]
+    return GapBatch(
+        [q for q, _ in jobs], [t for _, t in jobs], scoring, band
+    )
+
+
 @st.composite
 def threshold_edge_jobs(draw) -> ExtensionJob:
     """Jobs whose narrow-band score lands exactly on S1 or S2.

@@ -471,3 +471,152 @@ class TestBenchCli:
         out = capsys.readouterr().out
         assert "bench gate: FAIL" in out
         assert "stub.ops_per_s" in out
+
+
+@pytest.fixture(scope="module")
+def long_workload(tmp_path_factory):
+    """A small long-read corpus with its truth sidecar."""
+    root = tmp_path_factory.mktemp("cli_long")
+    ref = str(root / "ref.fasta")
+    reads = str(root / "long.fastq")
+    rc = main(
+        ["simulate", "--length", "15000", "--reads", "8", "--seed", "9",
+         "--long", "--long-length", "900", "--length-sd", "150",
+         "--out-reference", ref, "--out-reads", reads]
+    )
+    assert rc == 0
+    return root, ref, reads
+
+
+class TestSimulateLong:
+    def test_long_reads_have_spread_lengths(self, long_workload):
+        _, _, reads = long_workload
+        fq = read_fastq(reads)
+        assert len(fq) == 8
+        lengths = {len(r.sequence) for r in fq}
+        assert len(lengths) > 1  # --length-sd actually spread them
+        assert all(300 <= n <= 900 + 4 * 150 for n in lengths)
+
+    def test_truth_sidecar_written(self, long_workload):
+        root, _, reads = long_workload
+        truth = reads + ".truth.tsv"
+        with open(truth) as handle:
+            rows = [
+                line.split("\t") for line in handle
+                if not line.startswith("#")
+            ]
+        assert len(rows) == 8
+
+    def test_long_and_paired_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["simulate", "--length", "15000", "--reads", "4",
+                 "--long", "--paired",
+                 "--out-reference", str(tmp_path / "r.fa"),
+                 "--out-reads", str(tmp_path / "r.fq")]
+            )
+
+
+class TestLongReadCli:
+    def _run(self, long_workload, tmp_path, *extra):
+        _, ref, reads = long_workload
+        out = str(tmp_path / "long.sam")
+        rc = main(
+            ["longread", "--reference", ref, "--reads", reads,
+             "--out", out, *extra]
+        )
+        assert rc == 0
+        with open(out) as handle:
+            return handle.read()
+
+    def test_batched_matches_scalar_engine(self, long_workload, tmp_path):
+        scalar = self._run(
+            long_workload, tmp_path, "--engine", "scalar"
+        )
+        batched = self._run(
+            long_workload, tmp_path,
+            "--engine", "batched", "--kernel", "striped",
+        )
+        strip = lambda text: [
+            line for line in text.splitlines()
+            if not line.startswith("@PG")
+        ]
+        assert strip(batched) == strip(scalar)
+        mapped = [
+            line for line in scalar.splitlines()
+            if not line.startswith("@") and "\t4\t" not in line[:40]
+        ]
+        assert len(mapped) >= 7
+
+    def test_scorecard_grades_the_run(self, long_workload, tmp_path):
+        _, ref, reads = long_workload
+        out = str(tmp_path / "long.sam")
+        card = str(tmp_path / "card.json")
+        rc = main(
+            ["longread", "--reference", ref, "--reads", reads,
+             "--out", out, "--scorecard-out", card,
+             "--truth-tolerance", "80"]
+        )
+        assert rc == 0
+        with open(card) as handle:
+            score = json.load(handle)
+        assert score["total"] == 8
+        assert score["rates"]["correct_locus"] >= 0.8
+
+
+class TestOverlapCli:
+    @pytest.fixture(scope="class")
+    def fragments(self, tmp_path_factory):
+        """Tiling fragments of a fresh reference: known overlaps."""
+        import numpy as np
+
+        from repro.genome.io_fasta import FastqRecord, write_fastq
+        from repro.genome.sequence import decode
+        from repro.genome.synth import fragment_corpus, synthesize_reference
+
+        root = tmp_path_factory.mktemp("cli_overlap")
+        rng = np.random.default_rng(11)
+        reference = synthesize_reference(4_000, rng)
+        frags = fragment_corpus(
+            reference, rng, length=300, step=220,
+            substitution_rate=0.01,
+        )
+        reads = str(root / "frags.fastq")
+        with open(reads, "w") as handle:
+            write_fastq(
+                handle,
+                [
+                    FastqRecord(f.name, decode(f.codes), "I" * len(f.codes))
+                    for f in frags
+                ],
+            )
+        return reads, len(frags)
+
+    def test_overlap_finds_adjacent_fragments(self, fragments, tmp_path):
+        reads, n_frags = fragments
+        out = str(tmp_path / "overlap.tsv")
+        rc = main(["overlap", "--reads", reads, "--out", out])
+        assert rc == 0
+        with open(out) as handle:
+            rows = [line.rstrip("\n").split("\t") for line in handle]
+        assert len(rows) >= n_frags - 1
+        for row in rows:
+            assert len(row) == 12
+            assert row[4] == "+"
+            assert row[11] in ("proved", "rerun")
+            assert int(row[8]) >= 50  # b_end >= --min-overlap
+
+    def test_overlap_kernel_independent(self, fragments, tmp_path):
+        reads, _ = fragments
+        outputs = {}
+        for kernel in ("scalar", "numpy", "striped"):
+            out = str(tmp_path / f"overlap.{kernel}.tsv")
+            rc = main(
+                ["overlap", "--reads", reads, "--out", out,
+                 "--kernel", kernel]
+            )
+            assert rc == 0
+            with open(out) as handle:
+                outputs[kernel] = handle.read()
+        assert outputs["scalar"] == outputs["numpy"]
+        assert outputs["scalar"] == outputs["striped"]
